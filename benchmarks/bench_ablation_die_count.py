@@ -1,0 +1,32 @@
+"""Ablation — number of reference dies in the golden population.
+
+The paper's perspectives call for repeating the inter-die study on
+"n >> 8" FPGAs.  The benchmark sweeps the population size and records
+how the estimated false-negative rate of HT2 behaves as the golden
+reference grows.
+"""
+
+import pytest
+
+from repro.core.pipeline import HTDetectionPlatform, PlatformConfig
+
+
+@pytest.mark.parametrize("num_dies", [3, 6, 10])
+def test_die_count_ablation(benchmark, platform, num_dies):
+    ablated = HTDetectionPlatform(
+        config=PlatformConfig(num_dies=num_dies),
+        golden=platform.golden,
+    )
+
+    def run_study():
+        return ablated.run_population_em_study(("HT2",))
+
+    study = benchmark(run_study)
+    characterisation = study.characterisations["HT2"]
+    benchmark.extra_info["num_dies"] = num_dies
+    benchmark.extra_info["mu"] = round(characterisation.mu, 1)
+    benchmark.extra_info["sigma"] = round(characterisation.sigma, 1)
+    benchmark.extra_info["false_negative_rate"] = round(
+        characterisation.false_negative_rate, 4
+    )
+    assert 0.0 <= characterisation.false_negative_rate <= 0.5

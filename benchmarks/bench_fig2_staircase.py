@@ -1,0 +1,23 @@
+"""FIG2 — faulted-bit staircase versus glitch step for one (P, K) pair.
+
+Paper claim: decreasing the glitched clock period in 35 ps steps faults
+more and more ciphertext bits; an inserted trojan shifts the onset.
+"""
+
+from repro.experiments import fig2_staircase
+
+
+def test_fig2_fault_staircase(benchmark, config, platform):
+    result = benchmark(fig2_staircase.run, config, platform)
+    golden_counts = [result.golden_staircase[s]
+                     for s in sorted(result.golden_staircase)]
+    infected_counts = [result.infected_staircase[s]
+                       for s in sorted(result.infected_staircase)]
+    benchmark.extra_info["glitch_start_ps"] = round(result.glitch_start_ps, 1)
+    benchmark.extra_info["golden_first_fault_step"] = result.golden_first_fault_step()
+    benchmark.extra_info["infected_first_fault_step"] = \
+        result.infected_first_fault_step()
+    benchmark.extra_info["golden_faulted_bits_at_last_step"] = golden_counts[-1]
+    benchmark.extra_info["infected_faulted_bits_at_last_step"] = infected_counts[-1]
+    assert max(golden_counts) > 0
+    assert result.infected_first_fault_step() <= result.golden_first_fault_step()

@@ -1,0 +1,17 @@
+"""FIG4 — averaged EM trace of a single AES-128 encryption.
+
+Paper claim: at 5 GS/s and a 24 MHz clock one encryption spans roughly
+3 000 samples and the ten rounds are clearly visible after 1 000-fold
+averaging.
+"""
+
+from repro.experiments import fig4_em_trace
+
+
+def test_fig4_single_encryption_trace(benchmark, config, platform):
+    result = benchmark(fig4_em_trace.run, config, platform)
+    benchmark.extra_info["num_samples"] = result.num_samples
+    benchmark.extra_info["round_bursts"] = result.round_burst_count
+    benchmark.extra_info["peak_amplitude"] = round(result.peak_amplitude, 1)
+    assert 2000 <= result.num_samples <= 4000
+    assert result.rounds_visible()

@@ -1,0 +1,23 @@
+"""FIG5 — same-die comparison of genuine and infected averaged traces.
+
+Paper claim: two genuine acquisitions (including a setup re-install) are
+nearly identical, while the trace of the HT-infected AES departs at
+specific samples, so the dormant trojan is detected by direct
+comparison.
+"""
+
+from repro.experiments import fig5_em_compare
+
+
+def test_fig5_same_die_comparison(benchmark, config, platform):
+    result = benchmark(fig5_em_compare.run, config, platform)
+    benchmark.extra_info["genuine_vs_genuine_max"] = round(
+        result.genuine_vs_genuine_max, 1
+    )
+    benchmark.extra_info["genuine_vs_infected_max"] = round(
+        result.genuine_vs_infected_max, 1
+    )
+    benchmark.extra_info["contrast"] = round(result.contrast(), 2)
+    benchmark.extra_info["detected"] = result.detected
+    assert result.detected
+    assert result.contrast() > 1.5

@@ -1,0 +1,24 @@
+"""FIG7/EQ5 — the two-Gaussian false-negative model.
+
+Paper claim: the genuine and infected metric populations are Gaussians
+separated by mu; the symmetric decision has
+FN = FP = 1/2 - 1/2 erf(mu / (2 sigma sqrt(2))).
+"""
+
+from repro.experiments import fig7_model
+
+
+def test_fig7_gaussian_error_model(benchmark, config, platform):
+    result = benchmark(fig7_model.run, config, platform)
+    benchmark.extra_info["mu"] = round(result.mu, 1)
+    benchmark.extra_info["sigma"] = round(result.sigma, 1)
+    benchmark.extra_info["analytic_false_negative"] = round(
+        result.analytic_false_negative, 4
+    )
+    benchmark.extra_info["empirical_false_negative"] = round(
+        result.empirical_false_negative, 4
+    )
+    assert abs(result.analytic_false_negative
+               - result.empirical_false_negative) < 0.05
+    assert abs(result.empirical_false_negative
+               - result.empirical_false_positive) < 0.05

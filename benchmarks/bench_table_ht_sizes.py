@@ -1,0 +1,22 @@
+"""TAB-HT — trojan resource footprints.
+
+Paper claim: the AES covers 38.26 % of the FPGA slices; HTcomb/HTseq use
+0.19 %/0.36 % of the FPGA; HT1/HT2/HT3 occupy 0.5 %/1.0 %/1.7 % of the
+AES area.
+"""
+
+from repro.experiments import table_ht_sizes
+
+
+def test_trojan_resource_table(benchmark, config, platform):
+    table = benchmark(table_ht_sizes.run, config, platform)
+    benchmark.extra_info["aes_slices"] = table.aes_slice_count
+    for row in table.rows:
+        benchmark.extra_info[f"aes_fraction[{row.trojan_name}]"] = round(
+            row.fraction_of_aes, 4
+        )
+        benchmark.extra_info[f"device_fraction[{row.trojan_name}]"] = round(
+            row.fraction_of_device, 4
+        )
+    assert table.ordering_matches_paper()
+    assert abs(table.row("HT3").fraction_of_aes - 0.017) < 0.005

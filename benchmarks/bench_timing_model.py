@@ -1,0 +1,16 @@
+"""FIG1/EQ1 — synchronous timing constraint of the attacked design.
+
+Paper claim: the setup condition (Eq. 1) bounds the usable clock period;
+the glitch platform works by violating it on purpose.
+"""
+
+from repro.experiments import fig1_timing
+
+
+def test_fig1_timing_constraint(benchmark, config, platform):
+    result = benchmark(fig1_timing.run, config, platform)
+    benchmark.extra_info["critical_path_ps"] = round(result.critical_path_ps, 1)
+    benchmark.extra_info["required_period_ps"] = round(result.required_period_ps, 1)
+    benchmark.extra_info["nominal_slack_ps"] = round(result.nominal_slack_ps, 1)
+    assert result.nominal_slack_ps > 0
+    assert result.first_violating_period_ps() is not None

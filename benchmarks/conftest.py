@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure, table or
+headline number) on the *fast* experiment profile — identical code
+paths, reduced campaign sizes — and attaches the regenerated numbers to
+the benchmark record through ``benchmark.extra_info`` so that the
+paper-vs-measured comparison is part of the benchmark output.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Fast experiment profile shared by all benchmarks."""
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def platform(config):
+    """One detection platform shared by all benchmarks."""
+    return config.build_platform()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario: an untrusted foundry inserts a custom trojan, the lab screens it.
+
+This example exercises the lower-level API instead of the packaged
+pipeline, mirroring the paper's threat model step by step:
+
+1. the design house builds, places and routes the genuine AES
+   (:class:`~repro.fpga.design.GoldenDesign`);
+2. the untrusted foundry crafts its own combinational trojan (here a
+   48-bit SubBytes-input trigger, i.e. a size the catalog does not
+   contain) and inserts it into unused slices without touching the
+   genuine placement and routing;
+3. the verification lab, which only owns the golden model and the
+   measurement benches, measures both devices and decides.
+
+Run with::
+
+    python examples/foundry_attack_scenario.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DelayDetector, DelayFingerprint, SameDieEMDetector, EMReference
+from repro.fpga import GoldenDesign, virtex5_lx30
+from repro.measurement import (
+    DelayMeasurementConfig,
+    DeviceUnderTest,
+    EMSimulator,
+    PathDelayMeter,
+    generate_pk_pairs,
+)
+from repro.trojan import build_combinational_trojan, insert_trojan
+from repro.variation import DiePopulation
+
+
+def main() -> None:
+    # -- 1. the design house ------------------------------------------------
+    device = virtex5_lx30()
+    golden = GoldenDesign.build(device=device)
+    print(f"Golden AES model: {golden.modelled_slice_count()} modelled slices, "
+          f"AES budget {golden.aes_total_slices()} slices "
+          f"({100 * golden.aes_total_slices() / device.total_slices:.1f}% of "
+          f"{device.name})")
+
+    # -- 2. the untrusted foundry --------------------------------------------
+    trojan = build_combinational_trojan("HT_custom48", trigger_width=48,
+                                        payload_luts=40)
+    infected = insert_trojan(golden, trojan)
+    print(f"Inserted {trojan.name}: {trojan.lut_count():.0f} LUTs in "
+          f"{infected.trojan_slice_count()} unused slices "
+          f"({100 * infected.area_fraction_of_aes():.2f}% of the AES area), "
+          f"tapping {len(trojan.tapped_host_nets)} SubBytes input nets")
+
+    # -- 3. the verification lab ----------------------------------------------
+    population = DiePopulation(size=2, seed=7)
+    die = population[0]
+    golden_dut = DeviceUnderTest(golden, die, label="golden sample")
+    suspect_dut = DeviceUnderTest(infected, die, label="returned device")
+
+    # 3a. delay screening (clock glitch on round 10).
+    meter = PathDelayMeter(DelayMeasurementConfig(repetitions=10, seed=1))
+    pairs = generate_pk_pairs(8, seed=3)
+    glitches = meter.calibrate_glitches(golden_dut, pairs)
+    fingerprint = DelayFingerprint.from_measurement(
+        meter.measure(golden_dut, pairs, glitches, seed=10)
+    )
+    detector = DelayDetector(fingerprint)
+    detector.calibrate_with_clean([meter.measure(golden_dut, pairs, glitches, seed=11)])
+    verdict = detector.compare(meter.measure(suspect_dut, pairs, glitches, seed=12))
+    print("\nDelay screening:")
+    print(f"  worst per-bit shift  : {verdict.max_difference_ps:.0f} ps")
+    print(f"  decision threshold   : {verdict.outcome.threshold:.0f} ps")
+    print(f"  suspicious bits      : {verdict.suspicious_bits()[:10]} ...")
+    print(f"  verdict              : "
+          f"{'TROJAN SUSPECTED' if verdict.outcome.is_infected else 'clean'}")
+
+    # 3b. EM screening on the same die (fixed, undisclosed plaintext).
+    simulator = EMSimulator()
+    rng = np.random.default_rng(99)
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    key = bytes(range(16))
+    reference = EMReference.from_traces([
+        simulator.acquire(golden_dut, plaintext, key, rng),
+        simulator.acquire(golden_dut, plaintext, key, rng,
+                          new_setup_installation=True),
+    ])
+    em_detector = SameDieEMDetector(reference)
+    comparison = em_detector.compare(
+        simulator.acquire(suspect_dut, plaintext, key, rng),
+        label=suspect_dut.label,
+    )
+    print("\nEM screening (same die, averaged traces):")
+    print(f"  max |trace - reference| : {comparison.max_difference:.0f}")
+    print(f"  noise floor             : {comparison.noise_floor:.0f}")
+    print(f"  significant samples     : {comparison.significant_samples().size}")
+    print(f"  verdict                 : "
+          f"{'TROJAN SUSPECTED' if comparison.outcome.is_infected else 'clean'}")
+
+
+if __name__ == "__main__":
+    main()

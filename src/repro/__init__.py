@@ -1,0 +1,75 @@
+"""repro — reproduction of "Hardware Trojan Detection by Delay and
+Electromagnetic Measurements" (Ngo et al., DATE 2015).
+
+The package is organised as:
+
+* :mod:`repro.crypto` — AES-128 target cipher with round tracing,
+* :mod:`repro.netlist` — LUT-mapped structural netlists and timing,
+* :mod:`repro.fpga` — device, placement, routing and power-grid models,
+* :mod:`repro.trojan` — hardware trojan catalog and insertion,
+* :mod:`repro.variation` — intra-die and inter-die process variation,
+* :mod:`repro.measurement` — clock-glitch delay platform and EM bench,
+* :mod:`repro.analysis` — traces, local maxima, Gaussian statistics,
+* :mod:`repro.core` — the detection methods and the end-to-end platform,
+* :mod:`repro.experiments` — one driver per paper figure/table,
+* :mod:`repro.io` — trace and result persistence.
+
+Quick start::
+
+    from repro import HTDetectionPlatform
+
+    platform = HTDetectionPlatform()
+    study = platform.run_population_em_study(["HT1", "HT2", "HT3"])
+    print(study.false_negative_rates())
+"""
+
+from .core import (
+    DelayDetector,
+    DelayFingerprint,
+    EMReference,
+    HTDetectionPlatform,
+    LocalMaximaSumMetric,
+    PlatformConfig,
+    PopulationEMDetector,
+    SameDieEMDetector,
+    detection_probability,
+    false_negative_rate,
+)
+from .crypto import AES
+from .fpga import GoldenDesign, spartan3an_700, virtex5_lx30
+from .measurement import (
+    DeviceUnderTest,
+    EMSimulator,
+    PathDelayMeter,
+    generate_pk_pairs,
+)
+from .trojan import available_trojans, build_trojan, insert_trojan
+from .variation import DiePopulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AES",
+    "DelayDetector",
+    "DelayFingerprint",
+    "DeviceUnderTest",
+    "DiePopulation",
+    "EMReference",
+    "EMSimulator",
+    "GoldenDesign",
+    "HTDetectionPlatform",
+    "LocalMaximaSumMetric",
+    "PathDelayMeter",
+    "PlatformConfig",
+    "PopulationEMDetector",
+    "SameDieEMDetector",
+    "available_trojans",
+    "build_trojan",
+    "detection_probability",
+    "false_negative_rate",
+    "generate_pk_pairs",
+    "insert_trojan",
+    "spartan3an_700",
+    "virtex5_lx30",
+    "__version__",
+]

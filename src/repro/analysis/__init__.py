@@ -1,0 +1,60 @@
+"""Analysis toolkit: traces, local maxima, Gaussian fits, ROC, statistics."""
+
+from .gaussian import (
+    GaussianFit,
+    fit_gaussian,
+    overlap_threshold,
+    pooled_std,
+    separation,
+)
+from .local_maxima import (
+    find_local_maxima,
+    local_maxima_values,
+    sum_of_local_maxima,
+)
+from .roc import ROCCurve, roc_curve
+from .stats import (
+    bootstrap_mean_ci,
+    empirical_rate,
+    mad,
+    normalised_difference,
+    robust_zscore,
+    welch_t_test,
+)
+from .traces import (
+    abs_difference,
+    as_samples,
+    difference,
+    mean_trace,
+    peak_to_peak,
+    per_sample_std,
+    signal_to_noise_ratio,
+    stack_traces,
+)
+
+__all__ = [
+    "GaussianFit",
+    "fit_gaussian",
+    "overlap_threshold",
+    "pooled_std",
+    "separation",
+    "find_local_maxima",
+    "local_maxima_values",
+    "sum_of_local_maxima",
+    "ROCCurve",
+    "roc_curve",
+    "bootstrap_mean_ci",
+    "empirical_rate",
+    "mad",
+    "normalised_difference",
+    "robust_zscore",
+    "welch_t_test",
+    "abs_difference",
+    "as_samples",
+    "difference",
+    "mean_trace",
+    "peak_to_peak",
+    "per_sample_std",
+    "signal_to_noise_ratio",
+    "stack_traces",
+]

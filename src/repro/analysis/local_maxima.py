@@ -1,0 +1,78 @@
+"""Local-maxima extraction.
+
+The paper's inter-die detection metric is built on the *local maxima* of
+the absolute difference between a measured EM trace and the mean golden
+trace: the informative samples are the peaks of the round activity, so
+summing the peaks concentrates the trojan's contribution while ignoring
+the flat, noise-dominated regions between rounds (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def find_local_maxima(signal: Sequence[float], min_height: Optional[float] = None,
+                      min_distance: int = 1) -> np.ndarray:
+    """Indices of strict local maxima of ``signal``.
+
+    A sample is a local maximum when it is strictly greater than its left
+    neighbour and at least as large as its right neighbour (plateaus keep
+    their first sample).  End points are never maxima.
+
+    Parameters
+    ----------
+    min_height:
+        Discard maxima below this value.
+    min_distance:
+        Enforce a minimum index spacing between returned maxima, keeping
+        the highest peak of each cluster.
+    """
+    x = np.asarray(signal, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if x.size < 3:
+        return np.array([], dtype=int)
+    if min_distance < 1:
+        raise ValueError("min_distance must be >= 1")
+
+    left = x[1:-1] > x[:-2]
+    right = x[1:-1] >= x[2:]
+    candidates = np.flatnonzero(left & right) + 1
+
+    if min_height is not None:
+        candidates = candidates[x[candidates] >= min_height]
+    if candidates.size == 0 or min_distance == 1:
+        return candidates
+
+    # Greedy keep-highest with spacing constraint.
+    order = candidates[np.argsort(x[candidates])[::-1]]
+    kept: List[int] = []
+    for index in order:
+        if all(abs(index - other) >= min_distance for other in kept):
+            kept.append(int(index))
+    return np.array(sorted(kept), dtype=int)
+
+
+def sum_of_local_maxima(signal: Sequence[float],
+                        min_height: Optional[float] = None,
+                        min_distance: int = 1) -> float:
+    """Sum of the local-maximum values of ``signal`` (the paper's metric core)."""
+    x = np.asarray(signal, dtype=float)
+    indices = find_local_maxima(x, min_height=min_height,
+                                min_distance=min_distance)
+    if indices.size == 0:
+        return 0.0
+    return float(x[indices].sum())
+
+
+def local_maxima_values(signal: Sequence[float],
+                        min_height: Optional[float] = None,
+                        min_distance: int = 1) -> np.ndarray:
+    """Values of the local maxima of ``signal`` (in index order)."""
+    x = np.asarray(signal, dtype=float)
+    indices = find_local_maxima(x, min_height=min_height,
+                                min_distance=min_distance)
+    return x[indices]

@@ -1,0 +1,74 @@
+"""Receiver-operating-characteristic utilities.
+
+The paper reports a single operating point (false negative = false
+positive, Eq. 5); the ROC utilities generalise that to the full
+trade-off curve, which the ablation benchmarks use to compare the
+local-maxima-sum metric against simpler trace distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ROCCurve:
+    """ROC curve of a detector score (higher score = more suspicious)."""
+
+    thresholds: np.ndarray
+    false_positive_rates: np.ndarray
+    true_positive_rates: np.ndarray
+
+    def auc(self) -> float:
+        """Area under the curve (trapezoidal)."""
+        # Sort by FPR, breaking ties by TPR, so vertical segments of the
+        # step curve are traversed bottom-up and integrate correctly.
+        order = np.lexsort((self.true_positive_rates, self.false_positive_rates))
+        fpr = self.false_positive_rates[order]
+        tpr = self.true_positive_rates[order]
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        return float(integrate(tpr, fpr))
+
+    def equal_error_rate(self) -> float:
+        """Rate at which the false-positive and false-negative rates cross."""
+        fnr = 1.0 - self.true_positive_rates
+        gap = np.abs(self.false_positive_rates - fnr)
+        index = int(np.argmin(gap))
+        return float((self.false_positive_rates[index] + fnr[index]) / 2.0)
+
+    def operating_point(self, max_false_positive_rate: float
+                        ) -> Tuple[float, float]:
+        """Best (threshold, TPR) with FPR below ``max_false_positive_rate``."""
+        eligible = np.flatnonzero(
+            self.false_positive_rates <= max_false_positive_rate
+        )
+        if eligible.size == 0:
+            return float(self.thresholds[0]), 0.0
+        best = eligible[np.argmax(self.true_positive_rates[eligible])]
+        return float(self.thresholds[best]), float(self.true_positive_rates[best])
+
+
+def roc_curve(genuine_scores: Sequence[float],
+              infected_scores: Sequence[float]) -> ROCCurve:
+    """Build the ROC curve from genuine (negative) and infected (positive) scores."""
+    genuine = np.asarray(genuine_scores, dtype=float)
+    infected = np.asarray(infected_scores, dtype=float)
+    if genuine.size == 0 or infected.size == 0:
+        raise ValueError("both score populations must be non-empty")
+    candidates = np.unique(np.concatenate([genuine, infected]))
+    thresholds = np.concatenate((
+        [candidates[0] - 1.0], candidates, [candidates[-1] + 1.0]
+    ))
+    fprs: List[float] = []
+    tprs: List[float] = []
+    for threshold in thresholds:
+        fprs.append(float((genuine > threshold).mean()))
+        tprs.append(float((infected > threshold).mean()))
+    return ROCCurve(
+        thresholds=thresholds,
+        false_positive_rates=np.array(fprs),
+        true_positive_rates=np.array(tprs),
+    )

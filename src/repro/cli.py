@@ -1,0 +1,148 @@
+"""Command-line interface (``repro-ht``).
+
+Sub-commands:
+
+* ``trojans``    — list the trojan catalog and the measured footprints,
+* ``delay``      — run the Sec. III delay study and print the verdicts,
+* ``em``         — run the Sec. IV same-die EM study,
+* ``headline``   — run the Sec. V inter-die study and print FN rates,
+* ``experiments``— run the whole figure/table suite and print the
+  paper-vs-measured summary.
+
+Every command accepts ``--quick`` (reduced campaign, same code paths)
+and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.report import (
+    delay_study_report,
+    format_table,
+    percentage,
+    population_em_report,
+    same_die_em_report,
+)
+from .experiments import ExperimentConfig, headline, runner, table_ht_sizes
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.fast() if args.quick else ExperimentConfig.paper()
+    if args.seed is not None:
+        config.seed = args.seed
+    return config
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced campaign sizes (seconds instead of minutes)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the campaign seed")
+
+
+def cmd_trojans(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    table = table_ht_sizes.run(config)
+    rows = [[row.trojan_name, str(row.trigger_width), f"{row.lut_count:.0f}",
+             str(row.slice_count), percentage(row.fraction_of_aes),
+             percentage(row.fraction_of_device)]
+            for row in table.rows]
+    print(format_table(
+        ["trojan", "trigger bits", "LUTs", "slices", "% of AES", "% of FPGA"],
+        rows,
+    ))
+    print(f"\nAES slice budget: {table.aes_slice_count} slices "
+          f"({percentage(table.aes_slice_utilisation)} of the device)")
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    platform = config.build_platform()
+    study = platform.run_delay_study(
+        trojan_names=tuple(args.trojan),
+        num_pairs=config.num_pk_pairs,
+    )
+    print(delay_study_report(study))
+    return 0
+
+
+def cmd_em(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    platform = config.build_platform()
+    study = platform.run_same_die_em_study(trojan_names=tuple(args.trojan))
+    print(same_die_em_report(study))
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    platform = config.build_platform()
+    study = platform.run_population_em_study()
+    print(population_em_report(study))
+    result = headline.run(config, platform)
+    detection = result.largest_trojan_detection()
+    print(f"\nLargest trojan detection probability: {percentage(detection)} "
+          "(paper: > 95%)")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    suite = runner.run_all(config)
+    print(suite.summary_table())
+    return 0 if suite.all_shapes_match() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ht",
+        description=("Reproduction of 'Hardware Trojan Detection by Delay and "
+                     "Electromagnetic Measurements' (DATE 2015)"),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_trojans = subparsers.add_parser("trojans", help="list the trojan catalog")
+    _add_common_options(p_trojans)
+    p_trojans.set_defaults(func=cmd_trojans)
+
+    p_delay = subparsers.add_parser("delay", help="run the delay study (Sec. III)")
+    _add_common_options(p_delay)
+    p_delay.add_argument("--trojan", action="append",
+                         default=None, help="trojan name (repeatable)")
+    p_delay.set_defaults(func=cmd_delay)
+
+    p_em = subparsers.add_parser("em", help="run the same-die EM study (Sec. IV)")
+    _add_common_options(p_em)
+    p_em.add_argument("--trojan", action="append", default=None,
+                      help="trojan name (repeatable)")
+    p_em.set_defaults(func=cmd_em)
+
+    p_headline = subparsers.add_parser(
+        "headline", help="run the inter-die study (Sec. V) and print FN rates"
+    )
+    _add_common_options(p_headline)
+    p_headline.set_defaults(func=cmd_headline)
+
+    p_exp = subparsers.add_parser(
+        "experiments", help="run the full figure/table suite"
+    )
+    _add_common_options(p_exp)
+    p_exp.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "trojan", None) is None and args.command in ("delay", "em"):
+        args.trojan = ["HT_comb", "HT_seq"] if args.command == "delay" else ["HT_comb"]
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

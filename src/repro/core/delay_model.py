@@ -1,0 +1,124 @@
+"""The per-net delay model of Sec. III-B (Eqs. 2-4).
+
+The paper refines the delay of a net ``Na`` of the golden model as
+
+    D_GM(Na, r1) = dS_a + dPV_a + dM_r1                         (2)
+
+where ``dS`` is the static (nominal) delay, ``dPV`` the arbitrary delay
+induced by intra-die process variations and ``dM_r`` the random
+metastability / environmental noise of measurement run ``r``.  An
+infected circuit adds the trojan contribution ``dHT_a``:
+
+    D_HT(Na, r2) = dS_a + dPV_a + dM_r2 + dHT_a                  (3)
+
+and the detection observable is the difference between the mean golden
+delay (averaged over 10 runs) and the delay measured on the device under
+test:
+
+    dD(Na, r) = | mean_10(D_GM(Na)) - D_HT(Na, r) |
+              = | dM~ - dHT_a |                                  (4)
+
+These dataclasses give the model a concrete, testable form: the delay
+detector's algebra (and its property-based tests) are written against
+them, and the measurement substrate realises each term physically
+(``dS`` from the netlist + routing, ``dPV`` from
+:class:`~repro.variation.intra_die.IntraDieVariation`, ``dM`` from
+:class:`~repro.measurement.noise.DelayNoiseModel`, ``dHT`` from the
+trojan's tap loading and power-grid coupling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NetDelayModel:
+    """Static and process-variation components of one net's delay.
+
+    Attributes
+    ----------
+    net:
+        Net name (documentation only; the model is per net).
+    static_ps:
+        ``dS`` — nominal delay of the net.
+    process_variation_ps:
+        ``dPV`` — frozen per-die intra-die variation of this net.
+    trojan_extra_ps:
+        ``dHT`` — the additional delay the trojan causes on this net
+        (0 for a genuine circuit).
+    """
+
+    net: str
+    static_ps: float
+    process_variation_ps: float = 0.0
+    trojan_extra_ps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.static_ps < 0:
+            raise ValueError("static_ps must be non-negative")
+
+    @property
+    def is_infected(self) -> bool:
+        """True if the net carries a trojan-induced delay contribution."""
+        return self.trojan_extra_ps != 0.0
+
+    def nominal_delay_ps(self) -> float:
+        """Delay without measurement noise (dS + dPV + dHT)."""
+        return self.static_ps + self.process_variation_ps + self.trojan_extra_ps
+
+    def measure(self, rng: np.random.Generator, noise_sigma_ps: float = 20.0
+                ) -> float:
+        """One measured delay sample (Eq. 2 or Eq. 3 depending on dHT)."""
+        if noise_sigma_ps < 0:
+            raise ValueError("noise_sigma_ps must be non-negative")
+        noise = rng.normal(0.0, noise_sigma_ps) if noise_sigma_ps > 0 else 0.0
+        return self.nominal_delay_ps() + noise
+
+    def measure_mean(self, rng: np.random.Generator, repetitions: int = 10,
+                     noise_sigma_ps: float = 20.0) -> float:
+        """Mean of ``repetitions`` measurements (the paper's 10-run average)."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        samples = [self.measure(rng, noise_sigma_ps) for _ in range(repetitions)]
+        return float(np.mean(samples))
+
+
+def delay_difference(golden_mean_ps: float, dut_delay_ps: float) -> float:
+    """The detection observable of Eq. (4): |mean golden delay - DUT delay|."""
+    return abs(golden_mean_ps - dut_delay_ps)
+
+
+def expected_difference_noise_ps(noise_sigma_ps: float,
+                                 golden_repetitions: int = 10) -> float:
+    """Standard deviation of Eq. (4) for a genuine DUT (dHT = 0).
+
+    The golden reference is the mean of ``golden_repetitions`` noisy
+    measurements; the DUT contributes one more noisy measurement, so the
+    difference has standard deviation
+    ``sigma * sqrt(1 + 1/golden_repetitions)``.
+    """
+    if noise_sigma_ps < 0:
+        raise ValueError("noise_sigma_ps must be non-negative")
+    if golden_repetitions <= 0:
+        raise ValueError("golden_repetitions must be positive")
+    return noise_sigma_ps * float(np.sqrt(1.0 + 1.0 / golden_repetitions))
+
+
+def detectable_trojan_delay_ps(noise_sigma_ps: float,
+                               golden_repetitions: int = 10,
+                               confidence_sigmas: float = 3.0) -> float:
+    """Smallest ``dHT`` reliably separable from the Eq. (4) noise floor.
+
+    A trojan-induced delay shift is detectable on one net when it exceeds
+    the noise of the difference observable by ``confidence_sigmas``
+    standard deviations.
+    """
+    if confidence_sigmas <= 0:
+        raise ValueError("confidence_sigmas must be positive")
+    return confidence_sigmas * expected_difference_noise_ps(
+        noise_sigma_ps, golden_repetitions
+    )

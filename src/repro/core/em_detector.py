@@ -1,0 +1,214 @@
+"""EM-based hardware-trojan detection (Sec. IV and V).
+
+Two detectors are provided, matching the two experimental situations of
+the paper:
+
+* :class:`SameDieEMDetector` — golden and suspect designs are programmed
+  into the *same* die (Sec. IV, Fig. 5).  Process variation cancels, so
+  a direct comparison of averaged traces against the golden reference is
+  enough; the decision threshold is a multiple of the residual
+  acquisition noise.
+
+* :class:`PopulationEMDetector` — the suspect device is a *different*
+  die than the golden references (Sec. V, Figs. 6-7).  The golden
+  reference is the mean trace over a population of golden dies, the
+  score is the sum of local maxima of the absolute difference, and the
+  genuine/infected score distributions are modelled as Gaussians whose
+  overlap gives the false-negative rate of Eq. (5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.gaussian import GaussianFit, fit_gaussian, pooled_std
+from ..analysis.traces import TraceLike, abs_difference, as_samples
+from .decision import DetectionOutcome, ThresholdPolicy
+from .fingerprint import EMReference
+from .metrics import LocalMaximaSumMetric, false_negative_rate
+
+
+@dataclass
+class SameDieComparison:
+    """Result of a same-die EM comparison (Sec. IV)."""
+
+    label: str
+    max_difference: float
+    mean_difference: float
+    noise_floor: float
+    outcome: DetectionOutcome
+    difference: np.ndarray = field(repr=False, default_factory=lambda: np.array([]))
+
+    def significant_samples(self, factor: float = 1.0) -> np.ndarray:
+        """Sample indices where the difference exceeds the threshold."""
+        return np.flatnonzero(self.difference > self.outcome.threshold * factor)
+
+
+class SameDieEMDetector:
+    """Direct averaged-trace comparison on a single die.
+
+    Parameters
+    ----------
+    reference:
+        EM reference built from golden acquisitions on the same die
+        (several acquisitions, ideally across setup re-installations, so
+        the residual noise floor is known).
+    num_sigmas:
+        Decision threshold in multiples of the per-sample noise floor.
+    """
+
+    def __init__(self, reference: EMReference, num_sigmas: float = 5.0):
+        if num_sigmas <= 0:
+            raise ValueError("num_sigmas must be positive")
+        self.reference = reference
+        self.num_sigmas = num_sigmas
+
+    def noise_floor(self) -> float:
+        """Per-sample noise level of the golden reference."""
+        floor = self.reference.noise_floor()
+        if floor <= 0.0:
+            # Single-trace reference: fall back to a tiny fraction of the
+            # signal swing so the comparison stays meaningful.
+            floor = float(np.abs(self.reference.mean).max()) * 1e-3
+        return floor
+
+    def compare(self, trace: TraceLike, label: str = "DUT") -> SameDieComparison:
+        """Compare one averaged trace against the golden reference."""
+        samples = as_samples(trace)
+        if samples.size != self.reference.num_samples:
+            raise ValueError(
+                f"trace has {samples.size} samples, reference has "
+                f"{self.reference.num_samples}"
+            )
+        difference = abs_difference(samples, self.reference.mean)
+        noise = self.noise_floor()
+        threshold = self.num_sigmas * noise
+        score = float(difference.max())
+        outcome = DetectionOutcome(
+            label=label,
+            score=score,
+            threshold=threshold,
+            is_infected=bool(score > threshold),
+            details=f"max |trace - reference| vs {self.num_sigmas} x noise floor",
+        )
+        return SameDieComparison(
+            label=label,
+            max_difference=score,
+            mean_difference=float(difference.mean()),
+            noise_floor=noise,
+            outcome=outcome,
+            difference=difference,
+        )
+
+
+@dataclass
+class PopulationCharacterisation:
+    """Gaussian characterisation of genuine vs infected score populations."""
+
+    genuine: GaussianFit
+    infected: GaussianFit
+    mu: float
+    sigma: float
+    false_negative_rate: float
+
+    @property
+    def detection_probability(self) -> float:
+        return 1.0 - self.false_negative_rate
+
+
+@dataclass
+class PopulationComparison:
+    """Decision for one device against the golden population."""
+
+    label: str
+    score: float
+    outcome: DetectionOutcome
+
+
+class PopulationEMDetector:
+    """Inter-die EM detection using the local-maxima-sum metric.
+
+    Parameters
+    ----------
+    metric:
+        The trace-to-score metric (defaults to the paper's
+        local-maxima-sum).
+    policy:
+        Decision policy for single-device verdicts, calibrated on the
+        golden population's scores.
+    """
+
+    def __init__(self, metric: Optional[LocalMaximaSumMetric] = None,
+                 policy: Optional[ThresholdPolicy] = None):
+        self.metric = metric or LocalMaximaSumMetric()
+        self.policy = policy or ThresholdPolicy(num_sigmas=3.0)
+        self.reference: Optional[EMReference] = None
+        self._golden_scores: Optional[np.ndarray] = None
+
+    # -- reference construction ---------------------------------------------------
+
+    def fit_reference(self, golden_traces: Sequence[TraceLike]) -> EMReference:
+        """Build the mean-golden reference and the golden score population."""
+        if len(golden_traces) < 2:
+            raise ValueError(
+                "the population detector needs at least two golden traces"
+            )
+        self.reference = EMReference.from_traces(golden_traces, label="E(G)")
+        self._golden_scores = self.metric.scores(golden_traces, self.reference.mean)
+        return self.reference
+
+    def golden_scores(self) -> np.ndarray:
+        """Scores of the golden population against its own mean."""
+        if self._golden_scores is None:
+            raise RuntimeError("call fit_reference() before using the detector")
+        return self._golden_scores
+
+    # -- scoring and decisions ----------------------------------------------------------
+
+    def score(self, trace: TraceLike) -> float:
+        """Metric score of one device against the golden reference."""
+        if self.reference is None:
+            raise RuntimeError("call fit_reference() before using the detector")
+        return self.metric.score(trace, self.reference.mean)
+
+    def compare(self, trace: TraceLike, label: str = "DUT") -> PopulationComparison:
+        """Accept/reject one device."""
+        score = self.score(trace)
+        outcome = self.policy.decide(
+            label=label,
+            score=score,
+            reference_scores=list(self.golden_scores()),
+            details="sum of local maxima of |trace - E(G)|",
+        )
+        return PopulationComparison(label=label, score=score, outcome=outcome)
+
+    def characterise(self, infected_traces: Sequence[TraceLike]
+                     ) -> PopulationCharacterisation:
+        """Fit the two-Gaussian model of Fig. 7 and evaluate Eq. (5).
+
+        ``infected_traces`` are the traces of the *same* trojan across the
+        die population; the genuine population is the one the reference
+        was fitted on.
+        """
+        if not infected_traces:
+            raise ValueError("at least one infected trace is required")
+        genuine_scores = self.golden_scores()
+        infected_scores = self.metric.scores(infected_traces,
+                                             self.reference.mean)
+        genuine_fit = fit_gaussian(genuine_scores)
+        infected_fit = fit_gaussian(infected_scores)
+        mu = infected_fit.mean - genuine_fit.mean
+        if genuine_scores.size >= 2 and infected_scores.size >= 2:
+            sigma = pooled_std(genuine_scores, infected_scores)
+        else:
+            sigma = max(genuine_fit.std, infected_fit.std)
+        return PopulationCharacterisation(
+            genuine=genuine_fit,
+            infected=infected_fit,
+            mu=float(mu),
+            sigma=float(sigma),
+            false_negative_rate=false_negative_rate(mu, sigma),
+        )

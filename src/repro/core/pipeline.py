@@ -1,0 +1,283 @@
+"""End-to-end detection platform.
+
+:class:`HTDetectionPlatform` wires every substrate together — golden
+design, trojan catalog, die population, delay meter and EM bench — and
+exposes the campaigns the paper runs:
+
+* :meth:`run_delay_study` — Sec. III: delay fingerprint on the golden
+  model, comparison of clean and infected devices over (P, K) pairs;
+* :meth:`run_same_die_em_study` — Sec. IV: averaged-trace comparison of
+  a genuine and an infected design on the same die;
+* :meth:`run_population_em_study` — Sec. V: HT1/HT2/HT3 across a die
+  population, local-maxima-sum metric, Eq. (5) false-negative rates.
+
+The experiment drivers (:mod:`repro.experiments`) and the examples are
+thin wrappers over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..fpga.design import GoldenDesign
+from ..fpga.device import FPGADevice, virtex5_lx30
+from ..measurement.delay_meter import (
+    DelayMeasurement,
+    DelayMeasurementConfig,
+    PathDelayMeter,
+    PlaintextKeyPair,
+    generate_pk_pairs,
+)
+from ..measurement.dut import DeviceUnderTest
+from ..measurement.em_simulator import EMAcquisitionConfig, EMSimulator, EMTrace
+from ..trojan.insertion import InfectedDesign, insert_trojan
+from ..trojan.library import build_trojan
+from ..variation.inter_die import DiePopulation, DieProfile
+from .delay_detector import DelayComparisonResult, DelayDetector
+from .em_detector import (
+    PopulationCharacterisation,
+    PopulationEMDetector,
+    SameDieComparison,
+    SameDieEMDetector,
+)
+from .fingerprint import DelayFingerprint, EMReference
+from .metrics import LocalMaximaSumMetric
+
+
+@dataclass
+class PlatformConfig:
+    """Configuration of the whole detection platform."""
+
+    num_dies: int = 8
+    seed: int = 2015
+    delay: DelayMeasurementConfig = field(default_factory=DelayMeasurementConfig)
+    em: EMAcquisitionConfig = field(default_factory=EMAcquisitionConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_dies <= 0:
+            raise ValueError("num_dies must be positive")
+
+
+@dataclass
+class DelayStudyResult:
+    """Output of the Sec. III delay campaign."""
+
+    fingerprint: DelayFingerprint
+    measurements: Dict[str, DelayMeasurement]
+    comparisons: Dict[str, DelayComparisonResult]
+    pairs: List[PlaintextKeyPair]
+
+    def labels(self) -> List[str]:
+        return list(self.comparisons)
+
+
+@dataclass
+class SameDieEMStudyResult:
+    """Output of the Sec. IV same-die EM comparison."""
+
+    reference: EMReference
+    golden_traces: List[EMTrace]
+    comparisons: Dict[str, SameDieComparison]
+    infected_traces: Dict[str, EMTrace]
+
+
+@dataclass
+class PopulationEMStudyResult:
+    """Output of the Sec. V inter-die EM study."""
+
+    reference: EMReference
+    golden_traces: List[EMTrace]
+    infected_traces: Dict[str, List[EMTrace]]
+    characterisations: Dict[str, PopulationCharacterisation]
+    trojan_area_fractions: Dict[str, float]
+
+    def false_negative_rates(self) -> Dict[str, float]:
+        """Per-trojan false-negative rates (the headline table)."""
+        return {name: char.false_negative_rate
+                for name, char in self.characterisations.items()}
+
+
+class HTDetectionPlatform:
+    """The full reproduction platform (design + trojans + dies + benches)."""
+
+    def __init__(self, device: Optional[FPGADevice] = None,
+                 config: Optional[PlatformConfig] = None,
+                 golden: Optional[GoldenDesign] = None):
+        self.device = device or virtex5_lx30()
+        self.config = config or PlatformConfig()
+        self.golden = golden or GoldenDesign.build(device=self.device)
+        self.population = DiePopulation(size=self.config.num_dies,
+                                        seed=self.config.seed)
+        self._infected_cache: Dict[str, InfectedDesign] = {}
+        self.delay_meter = PathDelayMeter(self.config.delay)
+        self.em_simulator = EMSimulator(self.config.em)
+
+    # -- design / DUT helpers ----------------------------------------------------
+
+    def infected_design(self, trojan_name: str) -> InfectedDesign:
+        """Build (and cache) the infected design for a catalog trojan."""
+        if trojan_name not in self._infected_cache:
+            trojan = build_trojan(trojan_name, self.device)
+            self._infected_cache[trojan_name] = insert_trojan(self.golden, trojan)
+        return self._infected_cache[trojan_name]
+
+    def golden_dut(self, die_index: int = 0, label: Optional[str] = None
+                   ) -> DeviceUnderTest:
+        """A golden design programmed into die ``die_index``."""
+        die = self.population[die_index]
+        return DeviceUnderTest(self.golden, die, label=label or f"golden_die{die_index}")
+
+    def infected_dut(self, trojan_name: str, die_index: int = 0,
+                     label: Optional[str] = None) -> DeviceUnderTest:
+        """An infected design programmed into die ``die_index``."""
+        die = self.population[die_index]
+        return DeviceUnderTest(
+            self.infected_design(trojan_name), die,
+            label=label or f"{trojan_name}_die{die_index}",
+        )
+
+    # -- Sec. III: delay study ----------------------------------------------------------
+
+    def run_delay_study(self, trojan_names: Sequence[str] = ("HT_comb", "HT_seq"),
+                        num_pairs: int = 10, die_index: int = 0,
+                        pair_seed: int = 7) -> DelayStudyResult:
+        """Golden fingerprint plus clean/infected comparisons on one die.
+
+        The paper programmes the golden and infected bitstreams into the
+        same physical FPGA, so every campaign here uses the same die.
+        Two clean campaigns ("Clean1", "Clean2") are always included —
+        they are the paper's control showing the noise floor.
+        """
+        pairs = generate_pk_pairs(num_pairs, seed=pair_seed)
+        golden_dut = self.golden_dut(die_index, label="GM")
+        # Per-pair sweeps calibrated once on the golden model and reused for
+        # every device under test, so step counts stay comparable.
+        glitch = self.delay_meter.calibrate_glitches(golden_dut, pairs)
+
+        fingerprint_measurement = self.delay_meter.measure(
+            golden_dut, pairs, glitch, seed=self.config.seed
+        )
+        fingerprint = DelayFingerprint.from_measurement(fingerprint_measurement)
+        detector = DelayDetector(fingerprint)
+
+        measurements: Dict[str, DelayMeasurement] = {}
+        for clean_index in (1, 2):
+            label = f"Clean{clean_index}"
+            dut = self.golden_dut(die_index, label=label)
+            measurements[label] = self.delay_meter.measure(
+                dut, pairs, glitch, seed=self.config.seed + 100 + clean_index
+            )
+        for trojan_index, name in enumerate(trojan_names):
+            dut = self.infected_dut(name, die_index, label=name)
+            measurements[name] = self.delay_meter.measure(
+                dut, pairs, glitch, seed=self.config.seed + 200 + trojan_index
+            )
+
+        detector.calibrate_with_clean([measurements["Clean1"]])
+        comparisons = {label: detector.compare(measurement)
+                       for label, measurement in measurements.items()}
+        return DelayStudyResult(
+            fingerprint=fingerprint,
+            measurements=measurements,
+            comparisons=comparisons,
+            pairs=pairs,
+        )
+
+    # -- Sec. IV: same-die EM study ---------------------------------------------------------
+
+    def run_same_die_em_study(self, trojan_names: Sequence[str] = ("HT_comb",),
+                              die_index: int = 0,
+                              plaintext: Optional[bytes] = None,
+                              key: Optional[bytes] = None,
+                              num_golden_acquisitions: int = 2
+                              ) -> SameDieEMStudyResult:
+        """Averaged-trace comparison of genuine and infected designs, one die."""
+        plaintext = plaintext if plaintext is not None else bytes(range(16))
+        key = key if key is not None else bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+        )
+        rng = np.random.default_rng(self.config.seed + 40 + die_index)
+
+        golden_traces: List[EMTrace] = []
+        for acquisition in range(max(2, num_golden_acquisitions)):
+            dut = self.golden_dut(die_index, label=f"Genuine AES {acquisition + 1}")
+            golden_traces.append(
+                self.em_simulator.acquire(
+                    dut, plaintext, key, rng,
+                    new_setup_installation=(acquisition > 0),
+                )
+            )
+        reference = EMReference.from_traces(golden_traces, label="same-die reference")
+        detector = SameDieEMDetector(reference)
+
+        comparisons: Dict[str, SameDieComparison] = {}
+        infected_traces: Dict[str, EMTrace] = {}
+        for name in trojan_names:
+            dut = self.infected_dut(name, die_index, label=f"Infected AES ({name})")
+            trace = self.em_simulator.acquire(dut, plaintext, key, rng)
+            infected_traces[name] = trace
+            comparisons[name] = detector.compare(trace, label=dut.label)
+        return SameDieEMStudyResult(
+            reference=reference,
+            golden_traces=golden_traces,
+            comparisons=comparisons,
+            infected_traces=infected_traces,
+        )
+
+    # -- Sec. V: population EM study -------------------------------------------------------------
+
+    def acquire_population_traces(self, trojan_names: Sequence[str],
+                                  plaintext: Optional[bytes] = None,
+                                  key: Optional[bytes] = None
+                                  ) -> "tuple[List[EMTrace], Dict[str, List[EMTrace]]]":
+        """One averaged trace per (design, die): the 32 traces of Sec. V-A."""
+        plaintext = plaintext if plaintext is not None else bytes(range(16))
+        key = key if key is not None else bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+        )
+        golden_traces: List[EMTrace] = []
+        infected_traces: Dict[str, List[EMTrace]] = {name: [] for name in trojan_names}
+        for die_index in range(len(self.population)):
+            rng = np.random.default_rng(self.config.seed + 1000 + die_index)
+            golden_traces.append(
+                self.em_simulator.acquire(
+                    self.golden_dut(die_index), plaintext, key, rng,
+                    new_setup_installation=True,
+                )
+            )
+            for name in trojan_names:
+                infected_traces[name].append(
+                    self.em_simulator.acquire(
+                        self.infected_dut(name, die_index), plaintext, key, rng,
+                        new_setup_installation=True,
+                    )
+                )
+        return golden_traces, infected_traces
+
+    def run_population_em_study(self, trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
+                                plaintext: Optional[bytes] = None,
+                                key: Optional[bytes] = None,
+                                metric: Optional[LocalMaximaSumMetric] = None
+                                ) -> PopulationEMStudyResult:
+        """HT size sweep across the die population (Figs. 6-7, headline numbers)."""
+        golden_traces, infected_traces = self.acquire_population_traces(
+            trojan_names, plaintext, key
+        )
+        detector = PopulationEMDetector(metric=metric)
+        reference = detector.fit_reference(golden_traces)
+
+        characterisations: Dict[str, PopulationCharacterisation] = {}
+        area_fractions: Dict[str, float] = {}
+        for name in trojan_names:
+            characterisations[name] = detector.characterise(infected_traces[name])
+            area_fractions[name] = self.infected_design(name).area_fraction_of_aes()
+        return PopulationEMStudyResult(
+            reference=reference,
+            golden_traces=golden_traces,
+            infected_traces=infected_traces,
+            characterisations=characterisations,
+            trojan_area_fractions=area_fractions,
+        )

@@ -1,0 +1,74 @@
+"""Cryptographic substrate: AES-128/192/256 with round tracing.
+
+The AES block cipher is the paper's target circuit.  This subpackage
+provides a behavioural implementation used as the functional reference
+for the gate-level last-round circuit, as the source of per-round
+switching activity for the EM simulator, and as the cipher whose round
+10 is attacked by the clock-glitch delay meter.
+"""
+
+from .aes import (
+    AES,
+    EncryptionTrace,
+    RoundRecord,
+    decrypt_block,
+    encrypt_block,
+    inv_mix_columns_block,
+    inv_shift_rows_block,
+    inv_sub_bytes_block,
+    mix_columns_block,
+    shift_rows_block,
+    sub_bytes_block,
+)
+from .gf import gf_inv, gf_mul, gf_pow, xtime
+from .keyschedule import expand_key, last_round_key, round_key
+from .sbox import INV_SBOX, SBOX, inv_sub_byte, sub_byte
+from .state import (
+    BLOCK_BITS,
+    BLOCK_BYTES,
+    bit_of_block,
+    bits_to_bytes,
+    bytes_to_bits,
+    differing_bits,
+    hamming_distance,
+    hamming_weight,
+    random_block,
+    random_key,
+    xor_bytes,
+)
+
+__all__ = [
+    "AES",
+    "EncryptionTrace",
+    "RoundRecord",
+    "encrypt_block",
+    "decrypt_block",
+    "sub_bytes_block",
+    "inv_sub_bytes_block",
+    "shift_rows_block",
+    "inv_shift_rows_block",
+    "mix_columns_block",
+    "inv_mix_columns_block",
+    "gf_mul",
+    "gf_inv",
+    "gf_pow",
+    "xtime",
+    "expand_key",
+    "last_round_key",
+    "round_key",
+    "SBOX",
+    "INV_SBOX",
+    "sub_byte",
+    "inv_sub_byte",
+    "BLOCK_BITS",
+    "BLOCK_BYTES",
+    "bit_of_block",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "differing_bits",
+    "hamming_distance",
+    "hamming_weight",
+    "random_block",
+    "random_key",
+    "xor_bytes",
+]

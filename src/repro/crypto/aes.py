@@ -1,0 +1,250 @@
+"""Behavioural AES implementation with per-round state tracing.
+
+The paper's target circuit is an AES-128 block cipher; its measurement
+procedures need more than plain ``encrypt``:
+
+* the clock-glitch delay measurement faults the **10th round**, so the
+  fault-injection model needs the state *entering* round 10 and the
+  round-10 key (see :mod:`repro.measurement.fault_injection`);
+* the EM simulator converts the **per-round switching activity**
+  (Hamming distance between consecutive round states) into emanation
+  amplitude, so it needs the full sequence of round states.
+
+:class:`AES` therefore exposes ``encrypt``, ``decrypt`` and
+``encrypt_trace`` which returns an :class:`EncryptionTrace` with every
+intermediate state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .gf import gf_mul_02, gf_mul_03, gf_mul_09, gf_mul_0b, gf_mul_0d, gf_mul_0e
+from .keyschedule import expand_key, key_length_to_rounds
+from .sbox import INV_SBOX, SBOX
+from .state import (
+    BLOCK_BYTES,
+    hamming_distance,
+    validate_block,
+    validate_key,
+    xor_bytes,
+)
+
+# Byte index permutation implementing ShiftRows on the flat (column-major)
+# 16-byte block: output[i] = input[SHIFT_ROWS_PERM[i]].
+SHIFT_ROWS_PERM = (0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11)
+INV_SHIFT_ROWS_PERM = tuple(SHIFT_ROWS_PERM.index(i) for i in range(16))
+
+
+def sub_bytes_block(block: Sequence[int]) -> bytes:
+    """SubBytes on a flat 16-byte block."""
+    return bytes(SBOX[b] for b in bytes(block))
+
+
+def inv_sub_bytes_block(block: Sequence[int]) -> bytes:
+    """InvSubBytes on a flat 16-byte block."""
+    return bytes(INV_SBOX[b] for b in bytes(block))
+
+
+def shift_rows_block(block: Sequence[int]) -> bytes:
+    """ShiftRows on a flat 16-byte block (pure byte permutation)."""
+    data = bytes(block)
+    return bytes(data[SHIFT_ROWS_PERM[i]] for i in range(BLOCK_BYTES))
+
+
+def inv_shift_rows_block(block: Sequence[int]) -> bytes:
+    """InvShiftRows on a flat 16-byte block."""
+    data = bytes(block)
+    return bytes(data[INV_SHIFT_ROWS_PERM[i]] for i in range(BLOCK_BYTES))
+
+
+def mix_columns_block(block: Sequence[int]) -> bytes:
+    """MixColumns on a flat 16-byte block (column-major layout)."""
+    data = bytes(block)
+    out = bytearray(BLOCK_BYTES)
+    for col in range(4):
+        a0, a1, a2, a3 = data[4 * col : 4 * col + 4]
+        out[4 * col + 0] = gf_mul_02(a0) ^ gf_mul_03(a1) ^ a2 ^ a3
+        out[4 * col + 1] = a0 ^ gf_mul_02(a1) ^ gf_mul_03(a2) ^ a3
+        out[4 * col + 2] = a0 ^ a1 ^ gf_mul_02(a2) ^ gf_mul_03(a3)
+        out[4 * col + 3] = gf_mul_03(a0) ^ a1 ^ a2 ^ gf_mul_02(a3)
+    return bytes(out)
+
+
+def inv_mix_columns_block(block: Sequence[int]) -> bytes:
+    """InvMixColumns on a flat 16-byte block."""
+    data = bytes(block)
+    out = bytearray(BLOCK_BYTES)
+    for col in range(4):
+        a0, a1, a2, a3 = data[4 * col : 4 * col + 4]
+        out[4 * col + 0] = gf_mul_0e(a0) ^ gf_mul_0b(a1) ^ gf_mul_0d(a2) ^ gf_mul_09(a3)
+        out[4 * col + 1] = gf_mul_09(a0) ^ gf_mul_0e(a1) ^ gf_mul_0b(a2) ^ gf_mul_0d(a3)
+        out[4 * col + 2] = gf_mul_0d(a0) ^ gf_mul_09(a1) ^ gf_mul_0e(a2) ^ gf_mul_0b(a3)
+        out[4 * col + 3] = gf_mul_0b(a0) ^ gf_mul_0d(a1) ^ gf_mul_09(a2) ^ gf_mul_0e(a3)
+    return bytes(out)
+
+
+@dataclass
+class RoundRecord:
+    """Intermediate values of one AES round.
+
+    ``state_in`` is the register content at the start of the round,
+    ``state_out`` the register content latched at its end.  For the
+    final round ``after_mix_columns`` equals ``after_shift_rows`` since
+    MixColumns is skipped.
+    """
+
+    round_index: int
+    state_in: bytes
+    after_sub_bytes: bytes
+    after_shift_rows: bytes
+    after_mix_columns: bytes
+    round_key: bytes
+    state_out: bytes
+
+    @property
+    def switching_activity(self) -> int:
+        """Hamming distance between the round's input and output registers.
+
+        This is the classic register-transfer switching-activity proxy
+        used by the EM simulator: every register bit that toggles draws
+        current on the clock edge.
+        """
+        return hamming_distance(self.state_in, self.state_out)
+
+
+@dataclass
+class EncryptionTrace:
+    """Full record of one AES encryption.
+
+    Attributes
+    ----------
+    plaintext, key, ciphertext:
+        The obvious values.
+    initial_state:
+        State after the initial AddRoundKey (round 0).
+    rounds:
+        One :class:`RoundRecord` per round 1..Nr.
+    """
+
+    plaintext: bytes
+    key: bytes
+    ciphertext: bytes
+    initial_state: bytes
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def round(self, round_index: int) -> RoundRecord:
+        """Return the record for 1-based ``round_index``."""
+        if not 1 <= round_index <= len(self.rounds):
+            raise ValueError(
+                f"round_index must be in 1..{len(self.rounds)}, got {round_index}"
+            )
+        return self.rounds[round_index - 1]
+
+    @property
+    def last_round(self) -> RoundRecord:
+        return self.rounds[-1]
+
+    def switching_activities(self) -> List[int]:
+        """Per-round register switching activity, including round 0.
+
+        Element 0 is the Hamming distance between the plaintext and the
+        state after the initial AddRoundKey; element ``r`` is the
+        activity of round ``r``.
+        """
+        activities = [hamming_distance(self.plaintext, self.initial_state)]
+        activities.extend(record.switching_activity for record in self.rounds)
+        return activities
+
+
+class AES:
+    """AES block cipher (128/192/256-bit keys) with tracing support.
+
+    Parameters
+    ----------
+    key:
+        The cipher key (16, 24 or 32 bytes).
+    """
+
+    def __init__(self, key: Sequence[int]):
+        self.key = validate_key(key)
+        self.num_rounds = key_length_to_rounds(len(self.key))
+        self.round_keys = expand_key(self.key)
+
+    # -- public API -----------------------------------------------------
+
+    def encrypt(self, plaintext: Sequence[int]) -> bytes:
+        """Encrypt one 16-byte block."""
+        return self.encrypt_trace(plaintext).ciphertext
+
+    def decrypt(self, ciphertext: Sequence[int]) -> bytes:
+        """Decrypt one 16-byte block."""
+        state = validate_block(ciphertext, "ciphertext")
+        state = xor_bytes(state, self.round_keys[self.num_rounds])
+        for round_index in range(self.num_rounds - 1, 0, -1):
+            state = inv_shift_rows_block(state)
+            state = inv_sub_bytes_block(state)
+            state = xor_bytes(state, self.round_keys[round_index])
+            state = inv_mix_columns_block(state)
+        state = inv_shift_rows_block(state)
+        state = inv_sub_bytes_block(state)
+        state = xor_bytes(state, self.round_keys[0])
+        return state
+
+    def encrypt_trace(self, plaintext: Sequence[int]) -> EncryptionTrace:
+        """Encrypt one block and record every intermediate state."""
+        plaintext = validate_block(plaintext, "plaintext")
+        state = xor_bytes(plaintext, self.round_keys[0])
+        trace = EncryptionTrace(
+            plaintext=plaintext,
+            key=self.key,
+            ciphertext=b"",
+            initial_state=state,
+        )
+        for round_index in range(1, self.num_rounds + 1):
+            state_in = state
+            after_sub = sub_bytes_block(state_in)
+            after_shift = shift_rows_block(after_sub)
+            if round_index < self.num_rounds:
+                after_mix = mix_columns_block(after_shift)
+            else:
+                after_mix = after_shift
+            state = xor_bytes(after_mix, self.round_keys[round_index])
+            trace.rounds.append(
+                RoundRecord(
+                    round_index=round_index,
+                    state_in=state_in,
+                    after_sub_bytes=after_sub,
+                    after_shift_rows=after_shift,
+                    after_mix_columns=after_mix,
+                    round_key=self.round_keys[round_index],
+                    state_out=state,
+                )
+            )
+        trace.ciphertext = state
+        return trace
+
+    # -- helpers used by the measurement substrate -----------------------
+
+    def last_round_input(self, plaintext: Sequence[int]) -> bytes:
+        """Register content entering the final round for ``plaintext``."""
+        return self.encrypt_trace(plaintext).last_round.state_in
+
+    def last_round_key(self) -> bytes:
+        """The final round key."""
+        return self.round_keys[self.num_rounds]
+
+
+def encrypt_block(key: Sequence[int], plaintext: Sequence[int]) -> bytes:
+    """One-shot AES encryption of a single block."""
+    return AES(key).encrypt(plaintext)
+
+
+def decrypt_block(key: Sequence[int], ciphertext: Sequence[int]) -> bytes:
+    """One-shot AES decryption of a single block."""
+    return AES(key).decrypt(ciphertext)

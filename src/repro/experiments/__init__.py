@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per figure/table of the paper.
+
+==================  ==========================================================
+Module              Paper artefact
+==================  ==========================================================
+``fig1_timing``     Fig. 1 / Eq. (1): synchronous timing constraint
+``fig2_staircase``  Fig. 2: faulted bits vs glitch step
+``fig3_delay``      Fig. 3: per-bit delay differences, clean vs infected
+``fig4_em_trace``   Fig. 4: averaged EM trace of one encryption
+``fig5_em_compare`` Fig. 5: same-die genuine vs infected traces
+``fig6_pv``         Fig. 6: inter-die differences vs the mean golden trace
+``fig7_model``      Fig. 7 / Eq. (5): two-Gaussian false-negative model
+``table_ht_sizes``  Sec. II-B / V-A: trojan resource footprints
+``headline``        Abstract / Sec. V-B: FN rate vs trojan size
+``runner``          Runs the full suite and summarises paper-vs-measured
+==================  ==========================================================
+"""
+
+from . import (
+    fig1_timing,
+    fig2_staircase,
+    fig3_delay,
+    fig4_em_trace,
+    fig5_em_compare,
+    fig6_pv,
+    fig7_model,
+    headline,
+    table_ht_sizes,
+)
+from .config import FIXED_KEY, FIXED_PLAINTEXT, ExperimentConfig
+from .runner import ExperimentSummary, SuiteResult, run_all
+
+__all__ = [
+    "fig1_timing",
+    "fig2_staircase",
+    "fig3_delay",
+    "fig4_em_trace",
+    "fig5_em_compare",
+    "fig6_pv",
+    "fig7_model",
+    "headline",
+    "table_ht_sizes",
+    "ExperimentConfig",
+    "FIXED_KEY",
+    "FIXED_PLAINTEXT",
+    "ExperimentSummary",
+    "SuiteResult",
+    "run_all",
+]

@@ -1,0 +1,77 @@
+"""Shared experiment configuration.
+
+Every experiment driver accepts an :class:`ExperimentConfig`.  The
+default profile mirrors the paper's campaign sizes (8 dies, 50 (P, K)
+pairs, 10 repetitions, 1 000-fold averaging); the *quick* profile keeps
+every code path identical but shrinks the campaign so the full
+experiment suite runs in seconds — it is what the unit tests and the
+pytest benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.pipeline import HTDetectionPlatform, PlatformConfig
+from ..measurement.delay_meter import DelayMeasurementConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Campaign sizes shared by the experiment drivers."""
+
+    num_dies: int = 8
+    num_pk_pairs: int = 50
+    repetitions: int = 10
+    representative_pairs: "tuple[int, int]" = (13, 47)
+    seed: int = 2015
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_dies < 2:
+            raise ValueError("num_dies must be at least 2")
+        if self.num_pk_pairs < 1:
+            raise ValueError("num_pk_pairs must be at least 1")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        for pair in self.representative_pairs:
+            if pair >= self.num_pk_pairs:
+                raise ValueError(
+                    "representative pair index beyond the number of pairs"
+                )
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's campaign sizes."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        """A reduced campaign for tests and benchmarks (same code paths)."""
+        return cls(
+            num_dies=4,
+            num_pk_pairs=4,
+            repetitions=3,
+            representative_pairs=(0, 3),
+            quick=True,
+        )
+
+    def build_platform(self) -> HTDetectionPlatform:
+        """Instantiate the detection platform for this configuration."""
+        delay_config = DelayMeasurementConfig(
+            repetitions=self.repetitions,
+            seed=self.seed,
+        )
+        platform_config = PlatformConfig(
+            num_dies=self.num_dies,
+            seed=self.seed,
+            delay=delay_config,
+        )
+        return HTDetectionPlatform(config=platform_config)
+
+
+#: Fixed plaintext/key used by the EM experiments (the paper fixes the
+#: plaintext but does not disclose it; any fixed value plays that role).
+FIXED_PLAINTEXT = bytes(range(16))
+FIXED_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")

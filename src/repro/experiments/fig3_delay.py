@@ -1,0 +1,104 @@
+"""Figure 3: per-bit delay differences for clean and infected designs.
+
+Fig. 3 of the paper plots, for two representative (P, K) pairs (no. 13
+and no. 47), the Eq. (4) delay difference of every ciphertext bit for
+four devices measured against the golden model: two clean re-measurements
+(Clean1, Clean2) and the two trojans (HTcomb, HTseq).  The clean curves
+stay near the measurement-noise floor while the infected curves show
+large shifts on the bits whose paths the trojan disturbs — including for
+HTseq, which is not logically connected to the datapath.
+
+The driver reproduces those per-bit series and the summary statistics a
+plot would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pipeline import DelayStudyResult, HTDetectionPlatform
+from .config import ExperimentConfig
+
+
+@dataclass
+class Fig3Series:
+    """One curve of Fig. 3: per-bit delay difference of one design, one pair."""
+
+    label: str
+    pair_index: int
+    delay_difference_ps: np.ndarray
+
+    def max_ps(self) -> float:
+        return float(self.delay_difference_ps.max())
+
+    def affected_bits(self, threshold_ps: float) -> List[int]:
+        """Bit numbers (0-based) whose shift exceeds ``threshold_ps``."""
+        return [int(b) for b in
+                np.flatnonzero(self.delay_difference_ps > threshold_ps)]
+
+
+@dataclass
+class Fig3Result:
+    """All curves of Fig. 3 plus the campaign-level comparison."""
+
+    series: List[Fig3Series]
+    study: DelayStudyResult
+    representative_pairs: Sequence[int]
+
+    def series_for(self, label: str, pair_index: int) -> Fig3Series:
+        for candidate in self.series:
+            if candidate.label == label and candidate.pair_index == pair_index:
+                return candidate
+        raise KeyError(f"no series for {label!r} pair {pair_index}")
+
+    def labels(self) -> List[str]:
+        return sorted({s.label for s in self.series})
+
+    def clean_max_ps(self) -> float:
+        """Largest delay difference seen on the clean control curves."""
+        return max(s.max_ps() for s in self.series
+                   if s.label.startswith("Clean"))
+
+    def infected_max_ps(self) -> float:
+        """Largest delay difference seen on the infected curves."""
+        return max(s.max_ps() for s in self.series
+                   if not s.label.startswith("Clean"))
+
+    def separation_ratio(self) -> float:
+        """Infected-to-clean ratio of the worst per-bit shift (paper: >> 1)."""
+        clean = self.clean_max_ps()
+        if clean == 0.0:
+            return float("inf")
+        return self.infected_max_ps() / clean
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        platform: Optional[HTDetectionPlatform] = None,
+        trojan_names: Sequence[str] = ("HT_comb", "HT_seq")) -> Fig3Result:
+    """Run the Sec. III campaign and extract the Fig. 3 per-bit series."""
+    config = config or ExperimentConfig.fast()
+    platform = platform or config.build_platform()
+
+    study = platform.run_delay_study(
+        trojan_names=trojan_names,
+        num_pairs=config.num_pk_pairs,
+        die_index=0,
+        pair_seed=config.seed + 7,
+    )
+    pair_indices = [index for index in config.representative_pairs
+                    if index < config.num_pk_pairs]
+    series: List[Fig3Series] = []
+    for label, comparison in study.comparisons.items():
+        for pair_index in pair_indices:
+            series.append(
+                Fig3Series(
+                    label=label,
+                    pair_index=pair_index,
+                    delay_difference_ps=comparison.pair_profile(pair_index),
+                )
+            )
+    return Fig3Result(series=series, study=study,
+                      representative_pairs=pair_indices)

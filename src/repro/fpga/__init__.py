@@ -1,0 +1,41 @@
+"""FPGA fabric substrate: devices, floorplan, placement, routing, PDN."""
+
+from .annotation import build_delay_annotation
+from .design import GoldenDesign, build_golden_design_cached
+from .device import (
+    AES_SLICE_UTILISATION,
+    FPGADevice,
+    aes_slice_budget,
+    spartan3an_700,
+    virtex5_lx30,
+)
+from .floorplan import Floorplan, Region, default_floorplan
+from .placement import Placement, Placer, net_endpoints
+from .power_grid import PowerGrid
+from .routing import Router, RoutedNet, added_tap_delay_ps
+from .slices import PlacementError, SliceCoord, SliceMap, manhattan_distance
+
+__all__ = [
+    "build_delay_annotation",
+    "GoldenDesign",
+    "build_golden_design_cached",
+    "AES_SLICE_UTILISATION",
+    "FPGADevice",
+    "aes_slice_budget",
+    "spartan3an_700",
+    "virtex5_lx30",
+    "Floorplan",
+    "Region",
+    "default_floorplan",
+    "Placement",
+    "Placer",
+    "net_endpoints",
+    "PowerGrid",
+    "Router",
+    "RoutedNet",
+    "added_tap_delay_ps",
+    "PlacementError",
+    "SliceCoord",
+    "SliceMap",
+    "manhattan_distance",
+]

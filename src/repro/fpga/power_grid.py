@@ -1,0 +1,158 @@
+"""Power-distribution-network (PDN) coupling model.
+
+The paper's key observation for the delay method is that a trojan does
+not need to sit on a measured path to be detected: *"Even if no logical
+connection exists between the design and the HT, both share the same
+power grid inside the FPGA. These electric connections make the HT
+detection easier."*
+
+The model here is deliberately simple but physically motivated:
+
+* the fabric is divided into rectangular PDN tiles, each fed by its own
+  branch of the power grid with a small effective resistance;
+* every placed cell draws a static (leakage + clock buffering) current
+  and, when it switches, a dynamic current;
+* the extra current drawn by trojan cells causes a voltage droop in the
+  tiles they occupy, which decays with tile distance;
+* a voltage droop slows every victim cell in proportion to the delay
+  sensitivity ``d(delay)/dV`` of the technology.
+
+The same spatial-aggregation machinery provides the EM probe coupling
+weights (emanations from activity close to the probe are picked up more
+strongly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .device import FPGADevice
+from .slices import SliceCoord
+
+#: Current drawn by one occupied trojan cell site, in microamperes.  This
+#: aggregates leakage, the clock-tree load the extra flip-flops/LUTs add,
+#: and the dynamic current of the dormant trigger inputs; it is calibrated
+#: so that a trojan of a few tens of slices shifts nearby path delays by a
+#: few hundred picoseconds, the magnitude the paper observes for nets that
+#: are not logically connected to the trojan (Sec. III-B).
+STATIC_CURRENT_PER_CELL_UA = 120.0
+#: Effective PDN tile resistance, in ohms.
+TILE_RESISTANCE_OHM = 2.0
+#: Delay sensitivity to supply droop, in ps per millivolt, for a ~100 ps
+#: 65 nm LUT stage (a few percent delay increase per percent of supply
+#: droop, accumulated over the cells sharing the affected PDN tiles).
+DELAY_SENSITIVITY_PS_PER_MV = 2.0
+#: Spatial decay length of the droop coupling, in PDN tiles.
+DROOP_DECAY_TILES = 1.5
+
+
+@dataclass
+class PowerGrid:
+    """PDN tile model over the slice grid.
+
+    Parameters
+    ----------
+    device:
+        The FPGA device.
+    tile_rows, tile_cols:
+        Size of one PDN tile in slices.
+    """
+
+    device: FPGADevice
+    tile_rows: int = 10
+    tile_cols: int = 10
+    tile_resistance_ohm: float = TILE_RESISTANCE_OHM
+    static_current_per_cell_ua: float = STATIC_CURRENT_PER_CELL_UA
+    delay_sensitivity_ps_per_mv: float = DELAY_SENSITIVITY_PS_PER_MV
+    droop_decay_tiles: float = DROOP_DECAY_TILES
+
+    def __post_init__(self) -> None:
+        if self.tile_rows <= 0 or self.tile_cols <= 0:
+            raise ValueError("PDN tile dimensions must be positive")
+
+    # -- tiling ------------------------------------------------------------
+
+    def tile_of(self, coord: SliceCoord) -> Tuple[int, int]:
+        """PDN tile index containing a slice coordinate."""
+        row, col = coord
+        if not self.device.contains(row, col):
+            raise ValueError(f"slice {coord} outside device {self.device.name}")
+        return (row // self.tile_rows, col // self.tile_cols)
+
+    def tile_grid_shape(self) -> Tuple[int, int]:
+        """Number of PDN tiles along each dimension."""
+        rows = math.ceil(self.device.rows / self.tile_rows)
+        cols = math.ceil(self.device.columns / self.tile_cols)
+        return rows, cols
+
+    def tile_distance(self, tile_a: Tuple[int, int], tile_b: Tuple[int, int]) -> float:
+        """Euclidean distance between two PDN tiles."""
+        return math.hypot(tile_a[0] - tile_b[0], tile_a[1] - tile_b[1])
+
+    # -- droop computation ---------------------------------------------------
+
+    def tile_currents_ua(self, cell_positions: Mapping[str, SliceCoord]
+                         ) -> Dict[Tuple[int, int], float]:
+        """Aggregate static current per PDN tile for the given placed cells."""
+        currents: Dict[Tuple[int, int], float] = {}
+        for coord in cell_positions.values():
+            tile = self.tile_of(coord)
+            currents[tile] = currents.get(tile, 0.0) + self.static_current_per_cell_ua
+        return currents
+
+    def droop_mv(self, aggressor_positions: Mapping[str, SliceCoord]
+                 ) -> Dict[Tuple[int, int], float]:
+        """Voltage droop (mV) per tile caused by the aggressor cells.
+
+        The droop in a tile is the resistive drop of the current injected
+        in that tile plus the exponentially decaying contribution of
+        neighbouring tiles (shared PDN branches).
+        """
+        injected = self.tile_currents_ua(aggressor_positions)
+        if not injected:
+            return {}
+        droop: Dict[Tuple[int, int], float] = {}
+        tiles_rows, tiles_cols = self.tile_grid_shape()
+        for row in range(tiles_rows):
+            for col in range(tiles_cols):
+                tile = (row, col)
+                total = 0.0
+                for source, current_ua in injected.items():
+                    distance = self.tile_distance(tile, source)
+                    weight = math.exp(-distance / self.droop_decay_tiles)
+                    total += current_ua * weight
+                # V = I * R; current in uA and R in ohm gives uV, convert to mV.
+                droop[tile] = total * self.tile_resistance_ohm / 1000.0
+        return droop
+
+    def victim_delay_offsets_ps(self, victim_positions: Mapping[str, SliceCoord],
+                                aggressor_positions: Mapping[str, SliceCoord]
+                                ) -> Dict[str, float]:
+        """Delay increase per victim cell caused by aggressor-induced droop."""
+        droop = self.droop_mv(aggressor_positions)
+        offsets: Dict[str, float] = {}
+        for cell_name, coord in victim_positions.items():
+            tile = self.tile_of(coord)
+            offsets[cell_name] = (
+                droop.get(tile, 0.0) * self.delay_sensitivity_ps_per_mv
+            )
+        return offsets
+
+    # -- EM coupling -----------------------------------------------------------
+
+    def probe_coupling(self, coord: SliceCoord, probe_position: Tuple[float, float],
+                       decay_slices: float = 40.0) -> float:
+        """Coupling weight between activity at ``coord`` and a global EM probe.
+
+        The Langer RFU-5-2 probe used in the paper captures the *global*
+        EM activity of the chip; the coupling therefore decays only
+        slowly with distance.  A normalised exponential in slice units is
+        used; ``decay_slices`` controls the spatial selectivity.
+        """
+        if decay_slices <= 0:
+            raise ValueError("decay_slices must be positive")
+        distance = math.hypot(coord[0] - probe_position[0],
+                              coord[1] - probe_position[1])
+        return math.exp(-distance / decay_slices)

@@ -1,0 +1,12 @@
+"""Persistence helpers for traces and experiment results."""
+
+from .results import load_result, save_result, to_jsonable
+from .tracefile import load_traces, save_traces
+
+__all__ = [
+    "load_result",
+    "save_result",
+    "to_jsonable",
+    "load_traces",
+    "save_traces",
+]

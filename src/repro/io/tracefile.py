@@ -1,0 +1,75 @@
+"""Persistence of EM traces.
+
+Acquisition campaigns (real or simulated) are saved as ``.npz`` archives
+so that detection can be re-run offline without re-acquiring: the
+archive stores the sample matrix, the labels, the plaintext of each
+trace and the sampling period.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..measurement.em_simulator import EMTrace
+
+PathLike = Union[str, Path]
+
+#: Format marker stored inside every archive.
+_FORMAT_VERSION = 1
+
+
+def save_traces(path: PathLike, traces: Sequence[EMTrace]) -> Path:
+    """Save a set of traces to ``path`` (``.npz`` appended if missing)."""
+    if not traces:
+        raise ValueError("cannot save an empty trace set")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    lengths = {len(trace) for trace in traces}
+    if len(lengths) != 1:
+        raise ValueError("all traces must have the same number of samples")
+    matrix = np.vstack([trace.samples for trace in traces])
+    labels = np.array([trace.label for trace in traces])
+    plaintexts = np.array([trace.plaintext.hex() for trace in traces])
+    sample_periods = np.array([trace.sample_period_ns for trace in traces])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        samples=matrix,
+        labels=labels,
+        plaintexts=plaintexts,
+        sample_period_ns=sample_periods,
+    )
+    return path
+
+
+def load_traces(path: PathLike) -> List[EMTrace]:
+    """Load a trace set previously written by :func:`save_traces`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"trace file {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace file version {version} (expected {_FORMAT_VERSION})"
+            )
+        matrix = archive["samples"]
+        labels = archive["labels"]
+        plaintexts = archive["plaintexts"]
+        sample_periods = archive["sample_period_ns"]
+    traces: List[EMTrace] = []
+    for row_index in range(matrix.shape[0]):
+        traces.append(
+            EMTrace(
+                samples=matrix[row_index].copy(),
+                label=str(labels[row_index]),
+                plaintext=bytes.fromhex(str(plaintexts[row_index])),
+                sample_period_ns=float(sample_periods[row_index]),
+            )
+        )
+    return traces

@@ -1,0 +1,46 @@
+"""Measurement substrate: clock glitching, fault injection, delay and EM benches."""
+
+from .clock import (
+    ClockGlitchGenerator,
+    DEFAULT_GLITCH_STEP_PS,
+    DEFAULT_GLITCH_STEPS,
+    TimingBudget,
+)
+from .delay_meter import (
+    DelayMeasurement,
+    DelayMeasurementConfig,
+    PairMeasurement,
+    PathDelayMeter,
+    PlaintextKeyPair,
+    generate_pk_pairs,
+)
+from .dut import DeviceUnderTest
+from .em_probe import Amplifier, EMProbe, probe_impulse_response
+from .em_simulator import EMAcquisitionConfig, EMSimulator, EMTrace
+from .fault_injection import SetupViolationFaultModel
+from .noise import DelayNoiseModel, EMNoiseModel
+from .oscilloscope import Oscilloscope
+
+__all__ = [
+    "ClockGlitchGenerator",
+    "DEFAULT_GLITCH_STEP_PS",
+    "DEFAULT_GLITCH_STEPS",
+    "TimingBudget",
+    "DelayMeasurement",
+    "DelayMeasurementConfig",
+    "PairMeasurement",
+    "PathDelayMeter",
+    "PlaintextKeyPair",
+    "generate_pk_pairs",
+    "DeviceUnderTest",
+    "Amplifier",
+    "EMProbe",
+    "probe_impulse_response",
+    "EMAcquisitionConfig",
+    "EMSimulator",
+    "EMTrace",
+    "SetupViolationFaultModel",
+    "DelayNoiseModel",
+    "EMNoiseModel",
+    "Oscilloscope",
+]

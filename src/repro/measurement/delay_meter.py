@@ -1,0 +1,363 @@
+"""Per-bit path-delay measurement by iterative clock glitching.
+
+This is the measurement procedure of Sec. III-B of the paper:
+
+1. pick a (plaintext, key) pair, run the AES and glitch the clock of the
+   10th round;
+2. decrease the glitched period in 35 ps steps (51 steps) and record,
+   for every ciphertext bit, the number of decrements after which the
+   bit starts to be faulted;
+3. repeat each measurement 10 times to average the noise term ``dM_r``;
+4. repeat over many (plaintext, key) pairs — the sensitised paths depend
+   on the data, so each pair samples a different set of bits.
+
+The resulting matrix of "steps to fault" per (pair, repetition, bit) is
+the raw material both the golden-model fingerprint and the comparison of
+Fig. 3 are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crypto.aes import AES
+from ..crypto.state import BLOCK_BITS
+from ..netlist.timing import TimingEngine
+from .clock import ClockGlitchGenerator, TimingBudget
+from .dut import DeviceUnderTest
+from .fault_injection import SetupViolationFaultModel
+from .noise import DelayNoiseModel
+
+
+@dataclass(frozen=True)
+class PlaintextKeyPair:
+    """One (plaintext, key) stimulus of the delay campaign."""
+
+    index: int
+    plaintext: bytes
+    key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.plaintext) != 16:
+            raise ValueError("plaintext must be 16 bytes")
+        if len(self.key) not in (16, 24, 32):
+            raise ValueError("key must be 16, 24 or 32 bytes")
+
+
+def generate_pk_pairs(count: int, seed: int = 0,
+                      fixed_key: Optional[bytes] = None) -> List[PlaintextKeyPair]:
+    """Generate the random (plaintext, key) pairs of the campaign.
+
+    The paper draws 10 000 random pairs and reports results for 50 of
+    them; pass ``fixed_key`` to emulate a campaign where only the
+    plaintext varies.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    pairs: List[PlaintextKeyPair] = []
+    for index in range(count):
+        plaintext = bytes(int(x) for x in rng.integers(0, 256, size=16))
+        key = fixed_key if fixed_key is not None else bytes(
+            int(x) for x in rng.integers(0, 256, size=16)
+        )
+        pairs.append(PlaintextKeyPair(index=index, plaintext=plaintext, key=key))
+    return pairs
+
+
+@dataclass
+class DelayMeasurementConfig:
+    """Configuration of one delay-measurement campaign."""
+
+    repetitions: int = 10
+    glitch_step_ps: float = 35.0
+    num_glitch_steps: int = 51
+    calibration_margin_steps: int = 5
+    attacked_round: int = 10
+    noise: DelayNoiseModel = field(default_factory=DelayNoiseModel)
+    budget: TimingBudget = field(default_factory=TimingBudget)
+    fault_model: SetupViolationFaultModel = field(
+        default_factory=SetupViolationFaultModel
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        if self.num_glitch_steps <= 0:
+            raise ValueError("num_glitch_steps must be positive")
+        if self.glitch_step_ps <= 0:
+            raise ValueError("glitch_step_ps must be positive")
+        # Keep the fault model and the sweep consistent with the shared budget.
+        self.fault_model = SetupViolationFaultModel(
+            budget=self.budget,
+            metastability_window_ps=self.fault_model.metastability_window_ps,
+            stale_capture_probability=self.fault_model.stale_capture_probability,
+        )
+
+
+@dataclass
+class PairMeasurement:
+    """Delay measurement for one (plaintext, key) pair on one DUT.
+
+    ``steps_to_fault`` has shape ``(repetitions, 128)``; the value
+    ``num_glitch_steps + 1`` flags bits never faulted within the sweep
+    (either their path is short or they did not toggle for this pair).
+    ``arrival_ps`` holds the noiseless per-bit arrival times (NaN for
+    bits that do not toggle); it is kept for diagnostics and tests.
+    ``glitch`` is the sweep used for this pair (the platform re-centres
+    the sweep per stimulus so every pair's paths fall inside the window;
+    step counts are only ever compared between devices for the same pair
+    and the same sweep).
+    """
+
+    pair: PlaintextKeyPair
+    steps_to_fault: np.ndarray
+    arrival_ps: np.ndarray
+    glitch: Optional[ClockGlitchGenerator] = None
+
+    def mean_steps(self) -> np.ndarray:
+        """Mean steps-to-fault over repetitions, per bit (shape (128,))."""
+        return self.steps_to_fault.mean(axis=0)
+
+    def observable_bits(self) -> np.ndarray:
+        """Paper-bit indices that toggled (and can therefore be measured)."""
+        return np.flatnonzero(~np.isnan(self.arrival_ps))
+
+
+@dataclass
+class DelayMeasurement:
+    """Full delay campaign result for one DUT."""
+
+    label: str
+    glitch: ClockGlitchGenerator
+    config: DelayMeasurementConfig
+    pairs: List[PairMeasurement] = field(default_factory=list)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def steps_matrix(self) -> np.ndarray:
+        """Steps-to-fault, shape ``(num_pairs, repetitions, 128)``."""
+        return np.stack([p.steps_to_fault for p in self.pairs], axis=0)
+
+    def mean_steps(self) -> np.ndarray:
+        """Mean steps-to-fault over repetitions, shape ``(num_pairs, 128)``."""
+        return np.stack([p.mean_steps() for p in self.pairs], axis=0)
+
+    def mean_delay_ps(self) -> np.ndarray:
+        """Mean steps converted to picoseconds (steps x glitch step)."""
+        return self.mean_steps() * self.config.glitch_step_ps
+
+    def repetition_std_ps(self) -> np.ndarray:
+        """Per-(pair, bit) standard deviation across repetitions, in ps."""
+        return self.steps_matrix().std(axis=1, ddof=0) * self.config.glitch_step_ps
+
+
+class PathDelayMeter:
+    """The clock-glitch delay measurement instrument."""
+
+    def __init__(self, config: Optional[DelayMeasurementConfig] = None):
+        self.config = config or DelayMeasurementConfig()
+
+    # -- timing helpers ---------------------------------------------------------
+
+    def _timing_engine(self, dut: DeviceUnderTest) -> TimingEngine:
+        return TimingEngine(
+            dut.netlist,
+            annotation=dut.delay_annotation(),
+            input_arrival_ps=0.0,
+        )
+
+    def arrival_times_ps(self, dut: DeviceUnderTest,
+                         pair: PlaintextKeyPair) -> np.ndarray:
+        """Noiseless per-bit arrival times for one (P, K) pair.
+
+        The attacked round's input transition is derived from the AES
+        round trace: the state register switches from the round-9 input
+        to the round-10 input, and the round-key input from key 9 to
+        key 10.  Bits whose flip-flop D input does not toggle get NaN.
+        """
+        aes = AES(pair.key)
+        trace = aes.encrypt_trace(pair.plaintext)
+        attacked = self.config.attacked_round
+        if not 2 <= attacked <= trace.num_rounds:
+            raise ValueError(
+                f"attacked_round must be in 2..{trace.num_rounds}, got {attacked}"
+            )
+        circuit = dut.circuit
+        before = circuit.input_values(trace.round(attacked - 1).state_in,
+                                      aes.round_keys[attacked - 1])
+        after = circuit.input_values(trace.round(attacked).state_in,
+                                     aes.round_keys[attacked])
+        engine = self._timing_engine(dut)
+        result = engine.two_vector_arrival_times(before, after)
+        endpoint_delays = engine.endpoint_delays(result, circuit.output_d_nets())
+
+        arrivals = np.full(BLOCK_BITS, np.nan)
+        for bit_index, net in enumerate(circuit.output_d_nets()):
+            delay = endpoint_delays[net]
+            if delay is not None:
+                arrivals[bit_index] = delay
+        return arrivals
+
+    # -- calibration ----------------------------------------------------------------
+
+    def calibrate_glitch(self, dut: DeviceUnderTest,
+                         pairs: Sequence[PlaintextKeyPair]
+                         ) -> ClockGlitchGenerator:
+        """Choose one glitch sweep covering the DUT's worst observed path.
+
+        The physical platform is calibrated on the golden model; the same
+        sweep is then reused for every device under test so that step
+        counts are directly comparable.
+        """
+        if not pairs:
+            raise ValueError("at least one pair is required for calibration")
+        worst = 0.0
+        for pair in pairs:
+            arrivals = self.arrival_times_ps(dut, pair)
+            finite = arrivals[~np.isnan(arrivals)]
+            if finite.size:
+                worst = max(worst, float(finite.max()))
+        if worst <= 0.0:
+            raise ValueError("no observable path found during calibration")
+        return ClockGlitchGenerator.calibrated(
+            worst_path_ps=worst,
+            budget=self.config.budget,
+            margin_steps=self.config.calibration_margin_steps,
+            step_ps=self.config.glitch_step_ps,
+            num_steps=self.config.num_glitch_steps,
+        )
+
+    def calibrate_glitches(self, dut: DeviceUnderTest,
+                           pairs: Sequence[PlaintextKeyPair]
+                           ) -> Dict[int, ClockGlitchGenerator]:
+        """Per-pair glitch sweeps (keyed by ``pair.index``).
+
+        The sensitised paths depend strongly on the processed data, so a
+        single 51-step window cannot always cover every pair's region of
+        interest.  The operator therefore re-centres the sweep for each
+        (P, K) stimulus on the golden model; the same per-pair sweeps are
+        reused for every device under test, which keeps the per-pair step
+        counts comparable between devices (the only comparison Eq. (4)
+        performs).
+        """
+        if not pairs:
+            raise ValueError("at least one pair is required for calibration")
+        return {pair.index: self.calibrate_glitch(dut, [pair]) for pair in pairs}
+
+    # -- measurement -----------------------------------------------------------------
+
+    def measure_pair(self, dut: DeviceUnderTest, pair: PlaintextKeyPair,
+                     glitch: ClockGlitchGenerator,
+                     rng: np.random.Generator) -> PairMeasurement:
+        """Measure the steps-to-fault of every bit for one (P, K) pair.
+
+        The implementation vectorises the sweep: the per-bit capture
+        behaviour is the one of
+        :class:`~repro.measurement.fault_injection.SetupViolationFaultModel`
+        (violation probability ramping over the metastability window,
+        stale or random resolution), evaluated for every (repetition,
+        bit, step) at once.
+        """
+        config = self.config
+        fault_model = config.fault_model
+        arrivals = self.arrival_times_ps(dut, pair)
+        periods = np.asarray(glitch.periods())  # (S+1,)
+        repetitions = config.repetitions
+
+        noise = config.noise.sample(rng, size=(repetitions, BLOCK_BITS))
+        noisy_arrivals = arrivals[None, :] + noise  # (R, 128)
+        required = (config.budget.clk2q_ps + noisy_arrivals
+                    + config.budget.setup_ps - config.budget.skew_ps
+                    + config.budget.jitter_ps)
+        slack = periods[None, None, :] - required[:, :, None]  # (R, 128, S+1)
+
+        window = fault_model.metastability_window_ps
+        if window > 0:
+            probability = np.clip(1.0 - slack / window, 0.0, 1.0)
+        else:
+            probability = (slack <= 0.0).astype(float)
+        # Bits that do not toggle can never be observably faulted.
+        probability = np.where(np.isnan(noisy_arrivals)[:, :, None], 0.0,
+                               probability)
+        violated = rng.random(probability.shape) < probability
+        # A violated capture is observable unless metastability happens to
+        # resolve to the correct value: stale capture (always wrong for a
+        # toggling bit) or a random value that is wrong half the time.
+        observable_probability = (fault_model.stale_capture_probability
+                                  + 0.5 * (1.0 - fault_model.stale_capture_probability))
+        observed = violated & (rng.random(violated.shape) < observable_probability)
+
+        never = glitch.num_steps + 1
+        any_fault = observed.any(axis=2)
+        first_fault = np.where(any_fault, observed.argmax(axis=2), never)
+        steps_to_fault = first_fault.astype(float)
+
+        return PairMeasurement(pair=pair, steps_to_fault=steps_to_fault,
+                               arrival_ps=arrivals, glitch=glitch)
+
+    def measure(self, dut: DeviceUnderTest, pairs: Sequence[PlaintextKeyPair],
+                glitch=None, seed: Optional[int] = None) -> DelayMeasurement:
+        """Run the full campaign (all pairs, all repetitions) on one DUT.
+
+        ``glitch`` may be a single :class:`ClockGlitchGenerator`, a mapping
+        from ``pair.index`` to per-pair generators (see
+        :meth:`calibrate_glitches`), or None to calibrate per pair on this
+        DUT.
+        """
+        if not pairs:
+            raise ValueError("the campaign needs at least one (P, K) pair")
+        if glitch is None:
+            glitch = self.calibrate_glitches(dut, pairs)
+        rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        first_glitch = (glitch if isinstance(glitch, ClockGlitchGenerator)
+                        else glitch[pairs[0].index])
+        measurement = DelayMeasurement(label=dut.label, glitch=first_glitch,
+                                       config=self.config)
+        for pair in pairs:
+            pair_glitch = (glitch if isinstance(glitch, ClockGlitchGenerator)
+                           else glitch[pair.index])
+            measurement.pairs.append(self.measure_pair(dut, pair, pair_glitch, rng))
+        return measurement
+
+    # -- staircase (Fig. 2) --------------------------------------------------------------
+
+    def fault_staircase(self, dut: DeviceUnderTest, pair: PlaintextKeyPair,
+                        glitch: ClockGlitchGenerator,
+                        seed: int = 0) -> Dict[int, int]:
+        """Number of faulted bits at every glitch step (the Fig. 2 staircase).
+
+        Uses the explicit faulted-ciphertext path of the fault-injection
+        model: for every step the glitched round is "run" once and the
+        faulted ciphertext compared against the correct one.
+        """
+        rng = np.random.default_rng(seed)
+        aes = AES(pair.key)
+        trace = aes.encrypt_trace(pair.plaintext)
+        attacked = self.config.attacked_round
+        circuit = dut.circuit
+        engine = self._timing_engine(dut)
+        before = circuit.input_values(trace.round(attacked - 1).state_in,
+                                      aes.round_keys[attacked - 1])
+        after = circuit.input_values(trace.round(attacked).state_in,
+                                     aes.round_keys[attacked])
+        result = engine.two_vector_arrival_times(before, after)
+        endpoint = engine.endpoint_delays(result, circuit.output_d_nets())
+        arrivals = [endpoint[net] for net in circuit.output_d_nets()]
+
+        correct = trace.round(attacked).state_out
+        stale = trace.round(attacked).state_in
+        staircase: Dict[int, int] = {}
+        for step, period in enumerate(glitch.periods()):
+            faulted = self.config.fault_model.faulted_ciphertext(
+                correct, stale, arrivals, period, rng
+            )
+            mask = self.config.fault_model.faulted_bit_mask(correct, faulted)
+            staircase[step] = int(mask.sum())
+        return staircase

@@ -1,0 +1,317 @@
+"""Activity-driven EM trace simulation.
+
+The EM emanation of a synchronous circuit is dominated by the current
+pulses drawn on every clock edge; their amplitude tracks the switching
+activity of that cycle.  The simulator therefore builds an averaged EM
+trace of one AES encryption as follows:
+
+1. the AES round trace gives the per-cycle register switching activity
+   of the host (plus a factor for the combinational logic and the key
+   schedule it drags along);
+2. if the design is infected, the trojan's dormant activity (trigger
+   tree and counter toggles, input-pin charging) is evaluated per cycle
+   from its structural netlist and added with its own probe coupling —
+   this is the paper's "activity offset on a net used by the HT";
+3. every cycle contributes a damped-oscillation pulse (probe and
+   amplifier impulse response) scaled by its activity and by the die's
+   EM gain (inter-die process variation);
+4. the oscilloscope adds the residual averaged noise, a per-installation
+   setup perturbation, and quantises.
+
+The absolute units are arbitrary (calibrated so the trace spans roughly
+the +/- 2e4 units of the paper's figures); every comparison the
+detection metric performs is relative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..crypto.aes import AES
+from ..crypto.state import hamming_distance
+from .dut import DeviceUnderTest
+from .em_probe import Amplifier, EMProbe, probe_impulse_response
+from .noise import EMNoiseModel
+from .oscilloscope import Oscilloscope
+
+#: Weight of one register-bit toggle in activity units.
+REGISTER_TOGGLE_WEIGHT = 1.0
+#: Combinational activity dragged along per register toggle (SubBytes /
+#: MixColumns avalanche plus the key-schedule datapath).
+COMBINATIONAL_ACTIVITY_FACTOR = 3.0
+#: Weight of a trojan input-pin toggle relative to a full output toggle.
+TROJAN_PIN_TOGGLE_WEIGHT = 0.45
+#: Per-cycle activity of one trojan cell's clock/config load.  Every slice
+#: the trojan occupies adds clock-tree and configuration load that draws
+#: current on every edge regardless of data; this is the component that
+#: scales with trojan *size* and drives the HT1/HT2/HT3 detectability
+#: ordering of Sec. V.
+TROJAN_CLOCK_LOAD_PER_CELL = 0.09
+#: Baseline activity present on every cycle (clock tree, control logic).
+BASELINE_ACTIVITY = 40.0
+#: Conversion from activity units to oscilloscope units before the
+#: amplifier (calibrated so a full AES round peaks near 1.5e4 units
+#: after the 30 dB amplifier).
+ACTIVITY_TO_AMPLITUDE = 1.0
+#: Relative die-to-die gain variation applied independently to every clock
+#: cycle's emission.  The activity of different rounds maps onto different
+#: regions of the die, so each die mis-matches the population mean by a
+#: slightly different amount per cycle — this is what makes the |G_j - E(G)|
+#: curves of Fig. 6 look jagged rather than like a scaled copy of the trace.
+DIE_CYCLE_GAIN_JITTER = 0.03
+
+
+@dataclass
+class EMAcquisitionConfig:
+    """Static configuration of the EM acquisition bench.
+
+    The activity-model weights are part of the configuration so that the
+    ablation benchmarks (and users with different target technologies)
+    can explore their influence without touching module constants.
+    """
+
+    clock_frequency_mhz: float = 24.0
+    pre_trigger_cycles: int = 1
+    post_trigger_cycles: int = 2
+    probe: EMProbe = field(default_factory=EMProbe)
+    amplifier: Amplifier = field(default_factory=Amplifier)
+    oscilloscope: Oscilloscope = field(default_factory=Oscilloscope)
+    noise: EMNoiseModel = field(default_factory=EMNoiseModel)
+    quantise: bool = True
+    register_toggle_weight: float = REGISTER_TOGGLE_WEIGHT
+    combinational_activity_factor: float = COMBINATIONAL_ACTIVITY_FACTOR
+    trojan_pin_toggle_weight: float = TROJAN_PIN_TOGGLE_WEIGHT
+    trojan_clock_load_per_cell: float = TROJAN_CLOCK_LOAD_PER_CELL
+    baseline_activity: float = BASELINE_ACTIVITY
+    activity_to_amplitude: float = ACTIVITY_TO_AMPLITUDE
+    die_cycle_gain_jitter: float = DIE_CYCLE_GAIN_JITTER
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency_mhz <= 0:
+            raise ValueError("clock_frequency_mhz must be positive")
+        if self.pre_trigger_cycles < 0 or self.post_trigger_cycles < 0:
+            raise ValueError("trigger padding cycles must be non-negative")
+        if min(self.register_toggle_weight, self.combinational_activity_factor,
+               self.trojan_pin_toggle_weight, self.trojan_clock_load_per_cell,
+               self.baseline_activity, self.activity_to_amplitude,
+               self.die_cycle_gain_jitter) < 0:
+            raise ValueError("activity-model weights must be non-negative")
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1000.0 / self.clock_frequency_mhz
+
+    @property
+    def samples_per_cycle(self) -> int:
+        return self.oscilloscope.samples_for_duration_ns(self.clock_period_ns)
+
+    def total_cycles(self, num_rounds: int) -> int:
+        """Cycles in one acquisition: padding + load + ``num_rounds`` rounds."""
+        return self.pre_trigger_cycles + 1 + num_rounds + self.post_trigger_cycles
+
+    def total_samples(self, num_rounds: int) -> int:
+        return self.total_cycles(num_rounds) * self.samples_per_cycle
+
+
+@dataclass
+class EMTrace:
+    """One stored (averaged) EM trace and its acquisition context."""
+
+    samples: np.ndarray
+    label: str
+    plaintext: bytes
+    sample_period_ns: float
+    cycle_sample_offsets: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def copy(self) -> "EMTrace":
+        return EMTrace(
+            samples=self.samples.copy(),
+            label=self.label,
+            plaintext=self.plaintext,
+            sample_period_ns=self.sample_period_ns,
+            cycle_sample_offsets=list(self.cycle_sample_offsets),
+        )
+
+
+class EMSimulator:
+    """EM trace generator for a DUT running AES encryptions."""
+
+    def __init__(self, config: Optional[EMAcquisitionConfig] = None):
+        self.config = config or EMAcquisitionConfig()
+        self._kernel = probe_impulse_response(
+            self.config.oscilloscope.sample_rate_gsps
+        )
+
+    # -- activity model ---------------------------------------------------------
+
+    def host_cycle_activities(self, aes: AES, plaintext: bytes) -> List[float]:
+        """Per-cycle switching activity of the host AES (load + rounds)."""
+        config = self.config
+        trace = aes.encrypt_trace(plaintext)
+        register_toggles = trace.switching_activities()
+        activities = []
+        for toggles in register_toggles:
+            activities.append(
+                config.baseline_activity
+                + config.register_toggle_weight * toggles
+                * (1.0 + config.combinational_activity_factor)
+            )
+        return activities
+
+    def trojan_cycle_activities(self, dut: DeviceUnderTest, aes: AES,
+                                plaintext: bytes,
+                                encryption_index: int = 0) -> List[float]:
+        """Per-cycle dormant activity of the inserted trojan (zeros if clean).
+
+        Two components: the data-dependent toggles of the trigger logic
+        (evaluated on the trojan's structural netlist), and the
+        size-proportional clock/configuration load of every trojan cell,
+        which is present on every cycle.
+        """
+        config = self.config
+        trace = aes.encrypt_trace(plaintext)
+        num_cycles = 1 + trace.num_rounds
+        if dut.trojan is None:
+            return [0.0] * num_cycles
+        register_states: List[bytes] = [plaintext, trace.initial_state]
+        register_states.extend(record.state_out for record in trace.rounds)
+        activities = dut.trojan.encryption_activity(
+            register_states, encryption_index=encryption_index
+        )
+        clock_load = (config.trojan_clock_load_per_cell
+                      * dut.trojan.cell_count())
+        return [clock_load + activity.weighted(config.trojan_pin_toggle_weight)
+                for activity in activities]
+
+    def trojan_probe_coupling(self, dut: DeviceUnderTest) -> float:
+        """Coupling between the trojan slices and the probe."""
+        if dut.infected is None:
+            return 0.0
+        positions = list(dut.infected.aggressor_positions().values())
+        if not positions:
+            return 0.0
+        centroid = (
+            float(np.mean([p[0] for p in positions])),
+            float(np.mean([p[1] for p in positions])),
+        )
+        return self.config.probe.coupling(centroid)
+
+    def host_probe_coupling(self, dut: DeviceUnderTest) -> float:
+        """Coupling between the AES block and the probe."""
+        return self.config.probe.coupling(
+            dut.golden.floorplan.aes_region.center
+        )
+
+    def die_cycle_gains(self, dut: DeviceUnderTest, num_cycles: int) -> np.ndarray:
+        """Per-cycle EM gain of this die (frozen intra-die PV pattern).
+
+        Each cycle's emission originates from a slightly different region
+        of the die, so its die-to-die mismatch differs from cycle to
+        cycle.  The realisation is drawn deterministically from the die's
+        intra-die seed: re-measuring the same die always reproduces the
+        same pattern (this is physical personality, not noise).
+        """
+        base = dut.em_gain()
+        jitter_sigma = self.config.die_cycle_gain_jitter
+        if dut.die is None or jitter_sigma == 0.0:
+            return np.full(num_cycles, base)
+        rng = np.random.default_rng(dut.die.intra_die_seed * 131 + 17)
+        jitter = rng.normal(0.0, jitter_sigma, size=num_cycles)
+        return base * (1.0 + jitter)
+
+    # -- trace synthesis -----------------------------------------------------------
+
+    def noiseless_trace(self, dut: DeviceUnderTest, plaintext: bytes,
+                        key: bytes, encryption_index: int = 0) -> EMTrace:
+        """Deterministic emission of one encryption (no noise, no setup error)."""
+        config = self.config
+        aes = AES(key)
+        host_activity = self.host_cycle_activities(aes, plaintext)
+        trojan_activity = self.trojan_cycle_activities(
+            dut, aes, plaintext, encryption_index
+        )
+        num_rounds = len(host_activity) - 1
+        samples_per_cycle = config.samples_per_cycle
+        total_samples = config.total_samples(num_rounds)
+        signal = np.zeros(total_samples)
+
+        host_coupling = self.host_probe_coupling(dut)
+        trojan_coupling = self.trojan_probe_coupling(dut)
+        cycle_gains = self.die_cycle_gains(dut, len(host_activity))
+        base_gain = dut.em_gain()
+
+        cycle_offsets: List[int] = []
+        for cycle in range(len(host_activity)):
+            offset = (config.pre_trigger_cycles + cycle) * samples_per_cycle
+            cycle_offsets.append(offset)
+            amplitude = cycle_gains[cycle] * config.activity_to_amplitude * (
+                host_coupling * host_activity[cycle]
+                + trojan_coupling * trojan_activity[cycle]
+            )
+            end = min(total_samples, offset + self._kernel.size)
+            signal[offset:end] += amplitude * self._kernel[: end - offset]
+
+        # Idle cycles still show the clock-tree baseline.
+        idle_cycles = list(range(config.pre_trigger_cycles)) + [
+            config.pre_trigger_cycles + len(host_activity) + cycle
+            for cycle in range(config.post_trigger_cycles)
+        ]
+        for cycle_index in idle_cycles:
+            offset = cycle_index * samples_per_cycle
+            amplitude = base_gain * config.activity_to_amplitude * host_coupling \
+                * config.baseline_activity
+            end = min(total_samples, offset + self._kernel.size)
+            signal[offset:end] += amplitude * self._kernel[: end - offset]
+
+        signal = config.amplifier.amplify(signal) + dut.em_offset()
+        return EMTrace(
+            samples=signal,
+            label=dut.label,
+            plaintext=bytes(plaintext),
+            sample_period_ns=1.0 / config.oscilloscope.sample_rate_gsps,
+            cycle_sample_offsets=cycle_offsets,
+        )
+
+    def acquire(self, dut: DeviceUnderTest, plaintext: bytes, key: bytes,
+                rng: np.random.Generator,
+                encryption_index: int = 0,
+                new_setup_installation: bool = False) -> EMTrace:
+        """Acquire one averaged trace as the oscilloscope would store it.
+
+        Parameters
+        ----------
+        new_setup_installation:
+            When True, a fresh setup (probe repositioning, board
+            reinstallation) gain/offset perturbation is drawn — this is
+            the effect Fig. 5 demonstrates to be negligible after
+            1 000-fold averaging.
+        """
+        trace = self.noiseless_trace(dut, plaintext, key, encryption_index)
+        config = self.config
+        signal = trace.samples
+        if new_setup_installation:
+            gain, offset = config.noise.sample_setup_perturbation(rng)
+            signal = signal * gain + offset
+        signal = config.oscilloscope.acquire(
+            signal,
+            noise_sigma_single_shot=config.noise.sigma_single_shot,
+            rng=rng,
+            quantise=config.quantise,
+        )
+        acquired = trace.copy()
+        acquired.samples = signal
+        return acquired
+
+    def acquire_many(self, dut: DeviceUnderTest, plaintexts: Sequence[bytes],
+                     key: bytes, rng: np.random.Generator) -> List[EMTrace]:
+        """Acquire one averaged trace per plaintext (random-plaintext campaign)."""
+        return [
+            self.acquire(dut, plaintext, key, rng, encryption_index=index)
+            for index, plaintext in enumerate(plaintexts)
+        ]

@@ -1,0 +1,134 @@
+"""Setup-violation fault model (clock-glitch fault injection).
+
+Shortening the clock period of the attacked round below the arrival
+time of a flip-flop's data input violates its setup condition (Eq. 1).
+The flip-flop then either keeps its stale value or resolves to a random
+value through metastability.  The paper exploits exactly this: the
+glitched round produces *faulted ciphertexts*, and the step at which
+each bit starts to fault is the per-bit path-delay estimate.
+
+:class:`SetupViolationFaultModel` turns per-bit arrival times (from the
+two-vector timing simulation) and a glitched clock period into a faulted
+ciphertext, with a metastability window and stale/random resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..crypto.state import BLOCK_BITS, bits_to_bytes, bytes_to_bits
+from .clock import TimingBudget
+
+#: Width of the metastability window, in ps: when the slack magnitude is
+#: within this window the capture is probabilistic rather than clean.
+DEFAULT_METASTABILITY_WINDOW_PS = 40.0
+#: Probability that a violated flip-flop keeps its stale (previous) value
+#: rather than resolving to a random value.
+DEFAULT_STALE_CAPTURE_PROBABILITY = 0.8
+
+
+@dataclass
+class SetupViolationFaultModel:
+    """Behavioural model of setup violations at the ciphertext register.
+
+    Parameters
+    ----------
+    budget:
+        Register timing parameters (clk2q, setup, skew, jitter).
+    metastability_window_ps:
+        Transition band around the violation threshold in which capture
+        becomes probabilistic.
+    stale_capture_probability:
+        Probability that a violated bit keeps its previous value instead
+        of resolving randomly.
+    """
+
+    budget: TimingBudget = TimingBudget()
+    metastability_window_ps: float = DEFAULT_METASTABILITY_WINDOW_PS
+    stale_capture_probability: float = DEFAULT_STALE_CAPTURE_PROBABILITY
+
+    def __post_init__(self) -> None:
+        if self.metastability_window_ps < 0:
+            raise ValueError("metastability_window_ps must be non-negative")
+        if not 0.0 <= self.stale_capture_probability <= 1.0:
+            raise ValueError("stale_capture_probability must be in [0, 1]")
+
+    # -- per-bit behaviour ------------------------------------------------------
+
+    def violation_probability(self, arrival_ps: Optional[float],
+                              clock_period_ps: float) -> float:
+        """Probability that a bit with this arrival time is mis-captured.
+
+        ``None`` arrival means the bit did not toggle this cycle: its
+        stale value equals its final value, so no observable violation.
+        """
+        if arrival_ps is None:
+            return 0.0
+        slack = self.budget.setup_slack_ps(clock_period_ps, arrival_ps)
+        if slack >= self.metastability_window_ps:
+            return 0.0
+        if slack <= 0.0:
+            return 1.0
+        if self.metastability_window_ps == 0.0:
+            return 0.0
+        return 1.0 - slack / self.metastability_window_ps
+
+    def capture_bit(self, correct_bit: int, stale_bit: int,
+                    arrival_ps: Optional[float], clock_period_ps: float,
+                    rng: np.random.Generator) -> int:
+        """Value captured by one flip-flop at the glitched clock edge."""
+        probability = self.violation_probability(arrival_ps, clock_period_ps)
+        if probability <= 0.0 or rng.random() >= probability:
+            return correct_bit
+        if rng.random() < self.stale_capture_probability:
+            return stale_bit
+        return int(rng.integers(0, 2))
+
+    # -- block-level behaviour ----------------------------------------------------
+
+    def faulted_ciphertext(self, correct_ciphertext: Sequence[int],
+                           stale_state: Sequence[int],
+                           arrival_ps_per_bit: Sequence[Optional[float]],
+                           clock_period_ps: float,
+                           rng: np.random.Generator) -> bytes:
+        """Ciphertext captured when the attacked round runs at ``clock_period_ps``.
+
+        Parameters
+        ----------
+        correct_ciphertext:
+            The ciphertext the round would produce with a safe clock.
+        stale_state:
+            The value the ciphertext register held before the glitched
+            edge (the previous round's register content).
+        arrival_ps_per_bit:
+            Arrival time of each ciphertext bit (paper bit order), None
+            for bits that do not toggle.
+        """
+        correct_bits = bytes_to_bits(correct_ciphertext)
+        stale_bits = bytes_to_bits(stale_state)
+        if len(arrival_ps_per_bit) != BLOCK_BITS:
+            raise ValueError(
+                f"expected {BLOCK_BITS} arrival times, got {len(arrival_ps_per_bit)}"
+            )
+        captured: List[int] = []
+        for bit_index in range(BLOCK_BITS):
+            captured.append(
+                self.capture_bit(
+                    correct_bits[bit_index],
+                    stale_bits[bit_index],
+                    arrival_ps_per_bit[bit_index],
+                    clock_period_ps,
+                    rng,
+                )
+            )
+        return bits_to_bytes(captured)
+
+    def faulted_bit_mask(self, correct_ciphertext: Sequence[int],
+                         faulted_ciphertext: Sequence[int]) -> np.ndarray:
+        """Boolean mask (paper bit order) of bits that differ from the correct value."""
+        correct_bits = np.array(bytes_to_bits(correct_ciphertext), dtype=bool)
+        observed_bits = np.array(bytes_to_bits(faulted_ciphertext), dtype=bool)
+        return correct_bits ^ observed_bits

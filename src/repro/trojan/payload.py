@@ -1,0 +1,68 @@
+"""Trojan payload construction.
+
+Both trojans of the paper carry a Denial-of-Service payload: once the
+trigger fires, the payload corrupts the host operation.  During every
+experiment the payload stays dormant — what matters to the detection
+methods is only its *presence*: the slices it occupies draw static
+current (power-grid coupling for the delay method) and its area
+determines the trojan size the headline result is parameterised by.
+
+The payload is modelled as a chain of LUTs gated by the trigger net plus
+a small output register: because the trigger never fires, none of these
+cells toggles, which reproduces the paper's "HT never activated"
+condition while still contributing area and static load.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.cells import Cell, make_dff, make_lut
+from ..netlist.netlist import Netlist
+
+#: Truth table of a 2-input AND realised in a LUT (input0 = address bit 0).
+_AND2_TABLE = (0, 0, 0, 1)
+
+
+def add_dos_payload(netlist: Netlist, trigger_net: str, num_luts: int,
+                    prefix: str = "payload_") -> List[Cell]:
+    """Append a dormant DoS payload of ``num_luts`` LUTs to ``netlist``.
+
+    The payload is a linear chain: each stage ANDs the previous stage
+    with the trigger, so every stage output is 0 as long as the trigger
+    is 0.  A final flip-flop represents the kill switch register the DoS
+    would assert.
+
+    Returns the created cells.
+    """
+    if num_luts < 0:
+        raise ValueError("num_luts must be non-negative")
+    created: List[Cell] = []
+    previous = trigger_net
+    for index in range(num_luts):
+        out_net = f"{prefix}n{index}"
+        cell = make_lut(f"{prefix}lut{index}", [previous, trigger_net],
+                        out_net, _AND2_TABLE)
+        netlist.add_cell(cell)
+        created.append(cell)
+        previous = out_net
+    dff = make_dff(f"{prefix}kill_reg", previous, f"{prefix}kill_q")
+    netlist.add_cell(dff)
+    created.append(dff)
+    if f"{prefix}kill_q" not in netlist.outputs:
+        netlist.add_output(f"{prefix}kill_q")
+    return created
+
+
+def payload_luts_for_target_area(target_lut_count: float,
+                                 trigger_lut_count: float) -> int:
+    """Number of payload LUTs needed to reach a target total LUT count.
+
+    The paper specifies each trojan's size as a fraction of the AES
+    area; the trigger size is fixed by its width, so the payload absorbs
+    the difference (a real DoS payload — clock gating, reset forcing,
+    bus corruption — easily occupies a few dozen LUTs).
+    """
+    if target_lut_count < 0 or trigger_lut_count < 0:
+        raise ValueError("LUT counts must be non-negative")
+    return max(0, int(round(target_lut_count - trigger_lut_count)))

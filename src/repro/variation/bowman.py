@@ -1,0 +1,105 @@
+"""Bowman-style maximum-clock-frequency (FMAX) distribution model.
+
+The paper cites Bowman, Duvall and Meindl (JSSC 2002), *Impact of
+die-to-die and within-die parameter fluctuations on the maximum clock
+frequency distribution*, to justify modelling process variation as
+Gaussian noise.  This module implements the part of that model the
+reproduction uses:
+
+* the critical-path delay of a die is the **maximum** of many nominally
+  identical path delays, each perturbed by within-die variation, shifted
+  by a die-to-die offset;
+* the resulting FMAX distribution is skewed (max of Gaussians) with a
+  spread dominated by the die-to-die component once the number of
+  critical paths is large.
+
+It is used by the ablation benchmarks to relate the delay-detection
+threshold to the number of reference dies, and it provides an
+independent sanity check of the inter/intra-die sigma choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BowmanParameters:
+    """Parameters of the Bowman FMAX model.
+
+    Attributes
+    ----------
+    nominal_delay_ps:
+        Nominal critical-path delay.
+    sigma_within_die_ps:
+        Standard deviation of the within-die component of one path.
+    sigma_die_to_die_ps:
+        Standard deviation of the die-to-die delay offset.
+    num_critical_paths:
+        Number of nominally critical paths on the die (the max is taken
+        over these).
+    """
+
+    nominal_delay_ps: float
+    sigma_within_die_ps: float
+    sigma_die_to_die_ps: float
+    num_critical_paths: int = 128
+
+    def __post_init__(self) -> None:
+        if self.nominal_delay_ps <= 0:
+            raise ValueError("nominal_delay_ps must be positive")
+        if self.sigma_within_die_ps < 0 or self.sigma_die_to_die_ps < 0:
+            raise ValueError("sigmas must be non-negative")
+        if self.num_critical_paths <= 0:
+            raise ValueError("num_critical_paths must be positive")
+
+
+def sample_die_critical_delays(params: BowmanParameters, num_dies: int,
+                               seed: int = 0) -> np.ndarray:
+    """Sample the critical-path delay of ``num_dies`` dies.
+
+    Each die draws one die-to-die offset and ``num_critical_paths``
+    within-die perturbations; its critical delay is the maximum path
+    delay.
+    """
+    if num_dies <= 0:
+        raise ValueError("num_dies must be positive")
+    rng = np.random.default_rng(seed)
+    die_offsets = rng.normal(0.0, params.sigma_die_to_die_ps, size=num_dies)
+    within = rng.normal(
+        0.0, params.sigma_within_die_ps,
+        size=(num_dies, params.num_critical_paths),
+    )
+    delays = params.nominal_delay_ps + die_offsets[:, None] + within
+    return delays.max(axis=1)
+
+
+def fmax_statistics(params: BowmanParameters, num_dies: int = 10000,
+                    seed: int = 0) -> Dict[str, float]:
+    """Monte-Carlo statistics of the FMAX (= 1/critical delay) distribution."""
+    delays_ps = sample_die_critical_delays(params, num_dies, seed)
+    fmax_ghz = 1000.0 / delays_ps  # ps -> GHz
+    return {
+        "mean_delay_ps": float(delays_ps.mean()),
+        "std_delay_ps": float(delays_ps.std(ddof=1)),
+        "mean_fmax_ghz": float(fmax_ghz.mean()),
+        "std_fmax_ghz": float(fmax_ghz.std(ddof=1)),
+        "p99_delay_ps": float(np.percentile(delays_ps, 99)),
+    }
+
+
+def die_to_die_dominance(params: BowmanParameters) -> float:
+    """Ratio of die-to-die variance to total variance of the mean path.
+
+    Bowman's observation is that once the maximum over many paths is
+    taken, the within-die component compresses and the die-to-die
+    component dominates the FMAX spread; this ratio quantifies the
+    starting balance.
+    """
+    total = params.sigma_die_to_die_ps ** 2 + params.sigma_within_die_ps ** 2
+    if total == 0:
+        return 0.0
+    return params.sigma_die_to_die_ps ** 2 / total

@@ -1,0 +1,88 @@
+"""Equivalence and structure tests for the last-round circuit."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.state import BLOCK_BITS, differing_bits, random_block, random_key
+from repro.netlist.aes_round_circuit import (
+    AESLastRoundCircuit,
+    byte_bit_to_paper_bit,
+    paper_bit_to_byte_bit,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit(golden_design):
+    # Reuse the circuit embedded in the session-scoped golden design.
+    return golden_design.circuit
+
+
+def test_paper_bit_mapping_round_trip():
+    for paper_bit in range(BLOCK_BITS):
+        byte, bit = paper_bit_to_byte_bit(paper_bit)
+        assert byte_bit_to_paper_bit(byte, bit) == paper_bit
+    with pytest.raises(ValueError):
+        paper_bit_to_byte_bit(128)
+    with pytest.raises(ValueError):
+        byte_bit_to_paper_bit(16, 0)
+    with pytest.raises(ValueError):
+        byte_bit_to_paper_bit(0, 8)
+
+
+def test_paper_bit_zero_is_msb_of_byte_zero():
+    assert paper_bit_to_byte_bit(0) == (0, 7)
+    assert paper_bit_to_byte_bit(7) == (0, 0)
+    assert paper_bit_to_byte_bit(8) == (1, 7)
+
+
+def test_circuit_structure(circuit):
+    stats = circuit.netlist.stats()
+    assert stats["DFF"] == 128
+    assert len(circuit.netlist.inputs) == 256  # 128 state + 128 key bits
+    assert len(circuit.netlist.outputs) == 128
+    assert len(circuit.subbytes_input_nets) == 128
+    # 16 S-boxes x 32 LUTs + 128 AddRoundKey LUTs.
+    assert stats["LUT"] == 16 * 32 + 128
+
+
+def test_circuit_matches_behavioural_last_round(circuit, rng):
+    for _ in range(5):
+        key = random_key(rng)
+        plaintext = random_block(rng)
+        aes = AES(key)
+        trace = aes.encrypt_trace(plaintext)
+        observed = circuit.evaluate(trace.last_round.state_in, aes.last_round_key())
+        assert observed == trace.ciphertext
+
+
+def test_circuit_differs_when_key_bit_flipped(circuit, rng):
+    key = random_key(rng)
+    plaintext = random_block(rng)
+    aes = AES(key)
+    trace = aes.encrypt_trace(plaintext)
+    round_key = bytearray(aes.last_round_key())
+    round_key[0] ^= 0x80
+    observed = circuit.evaluate(trace.last_round.state_in, bytes(round_key))
+    assert differing_bits(observed, trace.ciphertext) == [0]
+
+
+def test_output_net_accessors_are_consistent(circuit):
+    d_nets = circuit.output_d_nets()
+    assert len(d_nets) == BLOCK_BITS
+    assert len(set(d_nets)) == BLOCK_BITS
+    for paper_bit in (0, 63, 127):
+        assert circuit.output_d_net(paper_bit) in d_nets
+        assert circuit.output_q_net(paper_bit) in circuit.netlist.outputs
+        assert circuit.state_net(paper_bit) in circuit.netlist.inputs
+        assert circuit.key_net(paper_bit) in circuit.netlist.inputs
+
+
+def test_input_values_cover_all_inputs(circuit):
+    values = circuit.input_values(bytes(16), bytes(16))
+    assert set(values) == set(circuit.netlist.inputs)
+    assert all(v in (0, 1) for v in values.values())
+
+
+def test_lut_equivalent_area_positive(circuit):
+    assert circuit.lut_equivalent_area() > 500

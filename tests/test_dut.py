@@ -1,0 +1,67 @@
+"""Tests for the device-under-test abstraction."""
+
+import pytest
+
+from repro.measurement.dut import DeviceUnderTest
+
+
+def test_golden_dut_properties(golden_design, die_population):
+    dut = DeviceUnderTest(golden_design, die_population[0])
+    assert not dut.is_infected
+    assert dut.trojan is None
+    assert dut.infected is None
+    assert dut.golden is golden_design
+    assert dut.netlist is golden_design.netlist
+    assert dut.label == "golden_die0"
+    assert dut.em_gain() == pytest.approx(die_population[0].em_gain)
+    assert dut.em_offset() == pytest.approx(die_population[0].em_offset)
+
+
+def test_infected_dut_properties(infected_design, die_population):
+    dut = DeviceUnderTest(infected_design, die_population[1], label="suspect")
+    assert dut.is_infected
+    assert dut.trojan is infected_design.trojan
+    assert dut.infected is infected_design
+    assert dut.golden is infected_design.golden
+    assert dut.label == "suspect"
+
+
+def test_nominal_die_defaults(golden_design):
+    dut = DeviceUnderTest(golden_design)
+    assert dut.die is None
+    assert dut.em_gain() == 1.0
+    assert dut.em_offset() == 0.0
+    assert dut.intra_die_variation() is None
+    annotation = dut.delay_annotation()
+    assert annotation.cell_scale == 1.0
+
+
+def test_annotation_cached_per_dut(golden_design, die_population):
+    dut = DeviceUnderTest(golden_design, die_population[0])
+    assert dut.delay_annotation() is dut.delay_annotation()
+
+
+def test_infected_annotation_includes_taps(infected_design, die_population):
+    dut = DeviceUnderTest(infected_design, die_population[0])
+    annotation = dut.delay_annotation()
+    tapped = next(iter(infected_design.tap_extra_delay_ps))
+    golden_delay = infected_design.golden.net_delays_ps[tapped]
+    assert annotation.net_delay_ps(tapped) > golden_delay
+
+
+def test_intra_die_variation_can_be_disabled(golden_design, die_population):
+    with_variation = DeviceUnderTest(golden_design, die_population[0])
+    without = DeviceUnderTest(golden_design, die_population[0],
+                              enable_intra_die_variation=False)
+    assert with_variation.intra_die_variation() is not None
+    assert without.intra_die_variation() is None
+    assert without.delay_annotation().cell_offsets_ps == {}
+
+
+def test_same_die_same_design_same_annotation(golden_design, die_population):
+    a = DeviceUnderTest(golden_design, die_population[2])
+    b = DeviceUnderTest(golden_design, die_population[2])
+    ann_a = a.delay_annotation()
+    ann_b = b.delay_annotation()
+    assert ann_a.cell_offsets_ps == ann_b.cell_offsets_ps
+    assert ann_a.cell_scale == ann_b.cell_scale

@@ -1,0 +1,129 @@
+"""Integration tests for the experiment drivers (fast profile)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig1_timing,
+    fig2_staircase,
+    fig3_delay,
+    fig4_em_trace,
+    fig5_em_compare,
+    fig6_pv,
+    fig7_model,
+    headline,
+    table_ht_sizes,
+)
+from repro.experiments.headline import PAPER_FALSE_NEGATIVE_RATES
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def exp_platform(config):
+    return config.build_platform()
+
+
+def test_experiment_config_profiles():
+    paper = ExperimentConfig.paper()
+    fast = ExperimentConfig.fast()
+    assert paper.num_dies == 8
+    assert paper.num_pk_pairs == 50
+    assert fast.num_pk_pairs < paper.num_pk_pairs
+    assert fast.quick
+    with pytest.raises(ValueError):
+        ExperimentConfig(num_dies=1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(num_pk_pairs=2, representative_pairs=(5, 6))
+
+
+def test_fig1_timing_constraint(config, exp_platform):
+    result = fig1_timing.run(config, exp_platform)
+    assert result.critical_path_ps > 0
+    assert result.required_period_ps > result.critical_path_ps
+    assert result.nominal_slack_ps > 0
+    assert result.first_violating_period_ps() is not None
+    assert result.first_violating_period_ps() < result.required_period_ps
+
+
+def test_fig2_staircase(config, exp_platform):
+    result = fig2_staircase.run(config, exp_platform)
+    assert result.glitch_step_ps == pytest.approx(35.0)
+    assert max(result.golden_staircase.values()) > 0
+    assert result.golden_first_fault_step() is not None
+    assert result.infected_first_fault_step() is not None
+    assert result.infected_first_fault_step() <= result.golden_first_fault_step()
+
+
+def test_fig3_delay_differences(config, exp_platform):
+    result = fig3_delay.run(config, exp_platform)
+    assert set(result.labels()) == {"Clean1", "Clean2", "HT_comb", "HT_seq"}
+    assert result.infected_max_ps() > result.clean_max_ps()
+    assert result.separation_ratio() > 1.5
+    series = result.series_for("HT_comb", result.representative_pairs[0])
+    assert series.delay_difference_ps.shape == (128,)
+    assert series.affected_bits(result.clean_max_ps()) != []
+    with pytest.raises(KeyError):
+        result.series_for("nonexistent", 0)
+
+
+def test_fig4_em_trace(config, exp_platform):
+    result = fig4_em_trace.run(config, exp_platform)
+    assert 2000 <= result.num_samples <= 4000
+    assert result.rounds_visible()
+    assert result.peak_amplitude > 1000
+
+
+def test_fig5_same_die_comparison(config, exp_platform):
+    result = fig5_em_compare.run(config, exp_platform)
+    assert result.detected
+    assert result.genuine_vs_infected_max > result.genuine_vs_genuine_max
+    assert result.contrast() > 1.5
+
+
+def test_fig6_process_variation_envelope(config, exp_platform):
+    result = fig6_pv.run(config, exp_platform, trojan_names=("HT1", "HT3"))
+    assert len(result.golden_differences) == config.num_dies
+    assert result.golden_envelope() > 0
+    assert result.exceeds_pv_envelope("HT3") >= result.exceeds_pv_envelope("HT1")
+    assert all(diff.shape == result.reference_mean.shape
+               for diff in result.golden_differences)
+
+
+def test_fig7_gaussian_model(config, exp_platform):
+    result = fig7_model.run(config, exp_platform, trojan_name="HT3")
+    assert result.mu > 0
+    assert result.sigma > 0
+    assert 0 <= result.analytic_false_negative <= 0.5
+    # Eq. (5) matches the Monte-Carlo evaluation of the fitted model.
+    assert result.analytic_false_negative == pytest.approx(
+        result.empirical_false_negative, abs=0.05
+    )
+    assert result.empirical_false_positive == pytest.approx(
+        result.empirical_false_negative, abs=0.05
+    )
+
+
+def test_table_ht_sizes(config, exp_platform):
+    table = table_ht_sizes.run(config, exp_platform)
+    assert table.aes_slice_count == 1836
+    assert table.ordering_matches_paper()
+    ht3 = table.row("HT3")
+    assert ht3.fraction_of_aes == pytest.approx(0.017, rel=0.2)
+    assert ht3.trigger_width == 128
+    with pytest.raises(KeyError):
+        table.row("unknown")
+
+
+def test_headline_result(config, exp_platform):
+    result = headline.run(config, exp_platform)
+    assert result.is_monotone_decreasing()
+    assert result.largest_trojan_detection() > 0.9
+    rates = result.false_negative_rates()
+    assert set(rates) == set(PAPER_FALSE_NEGATIVE_RATES)
+    crossover = result.crossover_area_fraction(target_detection=0.9)
+    assert crossover is not None and crossover <= 0.02

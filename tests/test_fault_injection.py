@@ -1,0 +1,96 @@
+"""Tests for the setup-violation fault model."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.state import BLOCK_BITS, bytes_to_bits
+from repro.measurement.clock import TimingBudget
+from repro.measurement.fault_injection import SetupViolationFaultModel
+
+
+@pytest.fixture()
+def model():
+    return SetupViolationFaultModel(budget=TimingBudget())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SetupViolationFaultModel(metastability_window_ps=-1)
+    with pytest.raises(ValueError):
+        SetupViolationFaultModel(stale_capture_probability=1.5)
+
+
+def test_violation_probability_regimes(model):
+    budget = model.budget
+    arrival = 2000.0
+    required = budget.required_period_ps(arrival)
+    # Plenty of slack: no violation.
+    assert model.violation_probability(arrival, required + 500) == 0.0
+    # Deep violation: certain.
+    assert model.violation_probability(arrival, required - 10) == 1.0
+    # Inside the metastability window: between 0 and 1.
+    inside = model.violation_probability(
+        arrival, required + model.metastability_window_ps / 2
+    )
+    assert 0.0 < inside < 1.0
+    # Stable bits can never be violated.
+    assert model.violation_probability(None, 100.0) == 0.0
+
+
+def test_violation_probability_monotone_in_period(model):
+    arrival = 2000.0
+    periods = np.linspace(2000, 3500, 30)
+    probabilities = [model.violation_probability(arrival, p) for p in periods]
+    assert all(a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+
+def test_capture_bit_correct_when_no_violation(model, rng):
+    assert model.capture_bit(1, 0, 1000.0, 1e6, rng) == 1
+    assert model.capture_bit(0, 1, None, 10.0, rng) == 0
+
+
+def test_capture_bit_wrong_when_deeply_violated(rng):
+    model = SetupViolationFaultModel(stale_capture_probability=1.0)
+    # Deep violation with stale-only resolution always returns the stale bit.
+    for _ in range(20):
+        assert model.capture_bit(1, 0, 5000.0, 100.0, rng) == 0
+
+
+def test_faulted_ciphertext_safe_clock_returns_correct(model, rng):
+    correct = bytes(range(16))
+    stale = bytes(16)
+    arrivals = [1000.0] * BLOCK_BITS
+    observed = model.faulted_ciphertext(correct, stale, arrivals, 1e6, rng)
+    assert observed == correct
+
+
+def test_faulted_ciphertext_aggressive_clock_faults_toggling_bits(rng):
+    model = SetupViolationFaultModel(stale_capture_probability=1.0)
+    correct = bytes([0xFF] * 16)
+    stale = bytes(16)
+    arrivals = [3000.0] * BLOCK_BITS
+    observed = model.faulted_ciphertext(correct, stale, arrivals, 500.0, rng)
+    assert observed == stale
+
+
+def test_faulted_ciphertext_requires_full_arrival_vector(model, rng):
+    with pytest.raises(ValueError):
+        model.faulted_ciphertext(bytes(16), bytes(16), [None] * 10, 1000.0, rng)
+
+
+def test_faulted_bit_mask(model):
+    correct = bytes([0xF0] + [0] * 15)
+    observed = bytes([0x0F] + [0] * 15)
+    mask = model.faulted_bit_mask(correct, observed)
+    assert mask.shape == (BLOCK_BITS,)
+    assert mask[:8].sum() == 8
+    assert mask[8:].sum() == 0
+
+
+def test_stable_bits_never_observed_faulted(model, rng):
+    """Bits with no transition keep their (correct) value whatever the clock."""
+    correct = bytes(16)
+    stale = bytes(16)
+    arrivals = [None] * BLOCK_BITS
+    observed = model.faulted_ciphertext(correct, stale, arrivals, 1.0, rng)
+    assert observed == correct

@@ -1,0 +1,99 @@
+"""Tests for trace/result persistence and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.results import load_result, save_result, to_jsonable
+from repro.io.tracefile import load_traces, save_traces
+from repro.measurement.em_simulator import EMTrace
+
+
+def make_trace(label: str, seed: int) -> EMTrace:
+    rng = np.random.default_rng(seed)
+    return EMTrace(
+        samples=rng.normal(0, 100, 256),
+        label=label,
+        plaintext=bytes(range(16)),
+        sample_period_ns=0.2,
+    )
+
+
+def test_save_and_load_traces_round_trip(tmp_path):
+    traces = [make_trace("golden", 1), make_trace("infected", 2)]
+    path = save_traces(tmp_path / "campaign", traces)
+    assert path.suffix == ".npz"
+    loaded = load_traces(path)
+    assert len(loaded) == 2
+    assert loaded[0].label == "golden"
+    assert loaded[1].plaintext == bytes(range(16))
+    assert np.allclose(loaded[0].samples, traces[0].samples)
+    assert loaded[0].sample_period_ns == pytest.approx(0.2)
+
+
+def test_save_traces_validation(tmp_path):
+    with pytest.raises(ValueError):
+        save_traces(tmp_path / "x.npz", [])
+    bad = [make_trace("a", 1), EMTrace(np.zeros(10), "b", bytes(16), 0.2)]
+    with pytest.raises(ValueError):
+        save_traces(tmp_path / "y.npz", bad)
+
+
+def test_load_traces_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_traces(tmp_path / "missing.npz")
+
+
+def test_to_jsonable_handles_numpy_and_dataclasses(population_study):
+    payload = to_jsonable(population_study.characterisations["HT1"])
+    assert isinstance(payload, dict)
+    assert isinstance(payload["false_negative_rate"], float)
+    assert to_jsonable(np.float64(1.5)) == 1.5
+    assert to_jsonable(np.array([1, 2])) == [1, 2]
+    assert to_jsonable(b"\x01\x02") == "0102"
+    assert to_jsonable({"k": (1, 2)}) == {"k": [1, 2]}
+
+
+def test_save_and_load_result_round_trip(tmp_path, population_study):
+    path = save_result(tmp_path / "headline",
+                       population_study.false_negative_rates())
+    assert path.suffix == ".json"
+    loaded = load_result(path)
+    assert set(loaded) == {"HT1", "HT3"}
+    # The file is valid JSON.
+    json.loads(path.read_text())
+    with pytest.raises(FileNotFoundError):
+        load_result(tmp_path / "missing.json")
+
+
+def test_cli_parser_has_all_subcommands():
+    parser = build_parser()
+    for command in ("trojans", "delay", "em", "headline", "experiments"):
+        args = parser.parse_args([command, "--quick"])
+        assert args.command == command
+        assert args.quick
+
+
+def test_cli_trojans_command(capsys):
+    exit_code = main(["trojans", "--quick"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "HT3" in output
+    assert "% of AES" in output
+
+
+def test_cli_delay_command(capsys):
+    exit_code = main(["delay", "--quick", "--trojan", "HT_comb"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Delay-based detection" in output
+    assert "HT_comb" in output
+
+
+def test_cli_em_command(capsys):
+    exit_code = main(["em", "--quick"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Same-die EM detection" in output

@@ -1,0 +1,65 @@
+"""Unit tests for the AES key schedule."""
+
+import pytest
+
+from repro.crypto.keyschedule import (
+    expand_key,
+    key_length_to_rounds,
+    last_round_key,
+    round_key,
+)
+
+
+def test_rounds_per_key_length():
+    assert key_length_to_rounds(16) == 10
+    assert key_length_to_rounds(24) == 12
+    assert key_length_to_rounds(32) == 14
+    with pytest.raises(ValueError):
+        key_length_to_rounds(20)
+
+
+def test_expand_key_returns_nr_plus_one_round_keys():
+    keys = expand_key(bytes(16))
+    assert len(keys) == 11
+    assert all(len(k) == 16 for k in keys)
+    assert len(expand_key(bytes(24))) == 13
+    assert len(expand_key(bytes(32))) == 15
+
+
+def test_round_zero_key_is_cipher_key_for_aes128():
+    key = bytes(range(16))
+    assert expand_key(key)[0] == key
+
+
+def test_fips197_appendix_a_first_round_key():
+    # FIPS-197 Appendix A.1 key expansion example.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    keys = expand_key(key)
+    assert keys[1] == bytes.fromhex("a0fafe1788542cb123a339392a6c7605")
+    assert keys[10] == bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+
+
+def test_fips197_appendix_c_last_round_key():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    assert last_round_key(key) == bytes.fromhex("13111d7fe3944a17f307a78b4d2b30c5")
+
+
+def test_round_key_accessor_bounds():
+    key = bytes(16)
+    assert round_key(key, 0) == key
+    assert round_key(key, 10) == expand_key(key)[10]
+    with pytest.raises(ValueError):
+        round_key(key, 11)
+    with pytest.raises(ValueError):
+        round_key(key, -1)
+
+
+def test_expand_key_rejects_bad_length():
+    with pytest.raises(ValueError):
+        expand_key(bytes(10))
+
+
+def test_different_keys_give_different_schedules():
+    a = expand_key(bytes(16))
+    b = expand_key(bytes([1] + [0] * 15))
+    assert a != b

@@ -1,0 +1,70 @@
+"""Unit tests for the power-distribution-network coupling model."""
+
+import pytest
+
+from repro.fpga.device import virtex5_lx30
+from repro.fpga.power_grid import PowerGrid
+
+
+@pytest.fixture()
+def grid():
+    return PowerGrid(virtex5_lx30())
+
+
+def test_tile_partitioning(grid):
+    assert grid.tile_of((0, 0)) == (0, 0)
+    assert grid.tile_of((9, 9)) == (0, 0)
+    assert grid.tile_of((10, 0)) == (1, 0)
+    rows, cols = grid.tile_grid_shape()
+    assert rows == 8 and cols == 6
+    with pytest.raises(ValueError):
+        grid.tile_of((1000, 0))
+
+
+def test_tile_dimensions_validated():
+    with pytest.raises(ValueError):
+        PowerGrid(virtex5_lx30(), tile_rows=0)
+
+
+def test_droop_zero_without_aggressors(grid):
+    assert grid.droop_mv({}) == {}
+    offsets = grid.victim_delay_offsets_ps({"victim": (0, 0)}, {})
+    assert offsets["victim"] == 0.0
+
+
+def test_droop_decays_with_distance(grid):
+    aggressors = {f"t{k}": (5, 5) for k in range(20)}
+    droop = grid.droop_mv(aggressors)
+    near = droop[(0, 0)]
+    far = droop[(7, 5)]
+    assert near > far > 0
+
+
+def test_droop_scales_with_aggressor_count(grid):
+    few = grid.droop_mv({f"t{k}": (5, 5) for k in range(5)})[(0, 0)]
+    many = grid.droop_mv({f"t{k}": (5, 5) for k in range(50)})[(0, 0)]
+    assert many == pytest.approx(10 * few, rel=1e-6)
+
+
+def test_victim_offsets_follow_droop(grid):
+    aggressors = {f"t{k}": (5, 5) for k in range(30)}
+    victims = {"near": (0, 0), "far": (79, 59)}
+    offsets = grid.victim_delay_offsets_ps(victims, aggressors)
+    assert offsets["near"] > offsets["far"] >= 0.0
+
+
+def test_victim_offsets_magnitude_is_measurable(grid):
+    """A trojan-sized aggressor group shifts nearby cells by >= a few ps."""
+    aggressors = {f"t{k}": (2, 2) for k in range(60)}
+    offsets = grid.victim_delay_offsets_ps({"victim": (1, 1)}, aggressors)
+    assert offsets["victim"] > 1.0
+
+
+def test_probe_coupling_monotone_in_distance(grid):
+    probe = (40.0, 30.0)
+    close = grid.probe_coupling((40, 30), probe)
+    far = grid.probe_coupling((0, 0), probe)
+    assert close == pytest.approx(1.0)
+    assert 0 < far < close
+    with pytest.raises(ValueError):
+        grid.probe_coupling((0, 0), probe, decay_slices=0)

@@ -1,0 +1,125 @@
+"""Tests for the process-variation models."""
+
+import numpy as np
+import pytest
+
+from repro.variation.bowman import (
+    BowmanParameters,
+    die_to_die_dominance,
+    fmax_statistics,
+    sample_die_critical_delays,
+)
+from repro.variation.inter_die import DiePopulation, DieProfile
+from repro.variation.intra_die import IntraDieVariation
+
+
+def test_intra_die_variation_is_deterministic():
+    a = IntraDieVariation(seed=42)
+    b = IntraDieVariation(seed=42)
+    assert a.cell_offset_ps("cell_x", (3, 4)) == b.cell_offset_ps("cell_x", (3, 4))
+
+
+def test_intra_die_variation_differs_across_dies():
+    a = IntraDieVariation(seed=1)
+    b = IntraDieVariation(seed=2)
+    offsets_a = [a.cell_offset_ps(f"c{k}", (k, k)) for k in range(20)]
+    offsets_b = [b.cell_offset_ps(f"c{k}", (k, k)) for k in range(20)]
+    assert offsets_a != offsets_b
+
+
+def test_intra_die_spatial_correlation():
+    """Neighbouring cells see similar spatial components."""
+    variation = IntraDieVariation(seed=7, sigma_random_ps=0.0)
+    near = abs(variation.spatial_field((10, 10)) - variation.spatial_field((11, 10)))
+    far = abs(variation.spatial_field((10, 10)) - variation.spatial_field((70, 55)))
+    # Not guaranteed pointwise, but with zero random part the field is smooth;
+    # neighbouring slices must be much closer than a 1-sigma swing.
+    assert near < 0.5
+
+
+def test_intra_die_offsets_for_positions():
+    variation = IntraDieVariation(seed=3)
+    positions = {f"c{k}": (k, 2 * k) for k in range(10)}
+    offsets = variation.offsets_for(positions)
+    assert set(offsets) == set(positions)
+    assert variation.total_sigma_ps() == pytest.approx(
+        np.hypot(variation.sigma_spatial_ps, variation.sigma_random_ps)
+    )
+
+
+def test_intra_die_validation():
+    with pytest.raises(ValueError):
+        IntraDieVariation(seed=0, sigma_spatial_ps=-1)
+    with pytest.raises(ValueError):
+        IntraDieVariation(seed=0, die_rows=0)
+
+
+def test_die_profile_validation():
+    with pytest.raises(ValueError):
+        DieProfile(0, delay_scale=0.0, em_gain=1.0, em_offset=0.0, intra_die_seed=0)
+    with pytest.raises(ValueError):
+        DieProfile(0, delay_scale=1.0, em_gain=0.0, em_offset=0.0, intra_die_seed=0)
+    profile = DieProfile(3, 1.02, 0.98, 1.0, 17)
+    assert "die 3" in profile.describe()
+
+
+def test_die_population_reproducible_and_prefix_stable():
+    small = DiePopulation(size=4, seed=11)
+    large = DiePopulation(size=8, seed=11)
+    assert len(small) == 4
+    for index in range(4):
+        assert small[index] == large[index]
+    assert [d.die_id for d in small] == [0, 1, 2, 3]
+
+
+def test_die_population_spread_parameters():
+    population = DiePopulation(size=50, seed=1, sigma_delay_scale=0.05)
+    scales = np.array(population.delay_scales())
+    assert 0.9 < scales.mean() < 1.1
+    assert scales.std() > 0.01
+    assert len(population.em_gains()) == 50
+
+
+def test_die_population_validation():
+    with pytest.raises(ValueError):
+        DiePopulation(size=0)
+    with pytest.raises(ValueError):
+        DiePopulation(size=2, sigma_em_gain=-0.1)
+
+
+def test_bowman_parameters_validation():
+    with pytest.raises(ValueError):
+        BowmanParameters(nominal_delay_ps=0, sigma_within_die_ps=1,
+                         sigma_die_to_die_ps=1)
+    with pytest.raises(ValueError):
+        BowmanParameters(nominal_delay_ps=100, sigma_within_die_ps=-1,
+                         sigma_die_to_die_ps=1)
+
+
+def test_bowman_critical_delay_exceeds_nominal():
+    params = BowmanParameters(nominal_delay_ps=1000, sigma_within_die_ps=20,
+                              sigma_die_to_die_ps=30, num_critical_paths=64)
+    delays = sample_die_critical_delays(params, num_dies=200, seed=3)
+    assert delays.shape == (200,)
+    # Taking a max over many paths biases the critical delay above nominal.
+    assert delays.mean() > params.nominal_delay_ps
+
+
+def test_bowman_statistics_and_dominance():
+    params = BowmanParameters(nominal_delay_ps=1000, sigma_within_die_ps=20,
+                              sigma_die_to_die_ps=30)
+    stats = fmax_statistics(params, num_dies=500, seed=1)
+    assert stats["mean_delay_ps"] > 1000
+    assert stats["std_delay_ps"] > 0
+    assert 0 < stats["mean_fmax_ghz"] < 1.1
+    dominance = die_to_die_dominance(params)
+    assert 0.5 < dominance < 1.0
+    assert die_to_die_dominance(
+        BowmanParameters(1000, 0.0, 0.0)
+    ) == 0.0
+
+
+def test_bowman_rejects_bad_die_count():
+    params = BowmanParameters(1000, 10, 10)
+    with pytest.raises(ValueError):
+        sample_die_critical_delays(params, num_dies=0)
