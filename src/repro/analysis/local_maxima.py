@@ -9,6 +9,7 @@ the flat, noise-dominated regions between rounds (Sec. V-B).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -47,12 +48,25 @@ def find_local_maxima(signal: Sequence[float], min_height: Optional[float] = Non
     if candidates.size == 0 or min_distance == 1:
         return candidates
 
-    # Greedy keep-highest with spacing constraint.
-    order = candidates[np.argsort(x[candidates])[::-1]]
+    # Greedy keep-highest with spacing constraint.  Visiting candidates
+    # in descending height order (the same ordering the original
+    # quadratic implementation used) and suppressing the ``candidates``
+    # range within ``min_distance`` of every kept peak is equivalent to
+    # re-checking each candidate against all kept peaks, but runs in
+    # O(K log K): ``candidates`` is ascending, so the suppression window
+    # is one ``searchsorted`` slice.
+    order_positions = np.argsort(x[candidates])[::-1].tolist()
+    candidate_list = candidates.tolist()
+    suppressed = bytearray(len(candidate_list))
     kept: List[int] = []
-    for index in order:
-        if all(abs(index - other) >= min_distance for other in kept):
-            kept.append(int(index))
+    for position in order_positions:
+        if suppressed[position]:
+            continue
+        index = candidate_list[position]
+        kept.append(index)
+        low = bisect_left(candidate_list, index - min_distance + 1)
+        high = bisect_right(candidate_list, index + min_distance - 1)
+        suppressed[low:high] = b"\x01" * (high - low)
     return np.array(sorted(kept), dtype=int)
 
 

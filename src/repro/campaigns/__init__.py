@@ -1,0 +1,41 @@
+"""Batched scenario-sweep campaigns.
+
+This package turns the paper's fixed 8-die study into a declarative,
+batched sweep engine: describe a grid of (trojans x die populations x
+acquisition variants x metrics) with :class:`CampaignSpec`, execute it
+with :class:`CampaignEngine` (vectorised acquisition, shared design and
+fingerprint caches, optional process pool), persist and report the
+results.
+"""
+
+from .engine import (
+    CampaignCellResult,
+    CampaignEngine,
+    CampaignResult,
+    CampaignRow,
+    build_metric,
+    format_campaign_rows,
+    run_campaign,
+    run_population_em_study,
+)
+from .spec import (
+    AcquisitionVariant,
+    CampaignSpec,
+    GridCell,
+    apply_em_overrides,
+)
+
+__all__ = [
+    "AcquisitionVariant",
+    "CampaignCellResult",
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignRow",
+    "CampaignSpec",
+    "GridCell",
+    "apply_em_overrides",
+    "build_metric",
+    "format_campaign_rows",
+    "run_campaign",
+    "run_population_em_study",
+]

@@ -1,0 +1,376 @@
+"""Batched campaign execution.
+
+:class:`CampaignEngine` executes a :class:`~repro.campaigns.spec.CampaignSpec`
+grid far faster than naively re-running ``run_population_em_study`` per
+cell:
+
+* **batched acquisition** — every (design, die-population) trace set is
+  synthesised in one vectorised NumPy pass
+  (:meth:`~repro.measurement.em_simulator.EMSimulator.acquire_batch`);
+* **memoised designs** — the golden design is built once and trojan
+  insertion happens once per trojan name, shared by every grid cell
+  through a common infected-design cache;
+* **memoised fingerprints** — acquired trace sets and the fitted golden
+  EM references are cached per (die count, acquisition variant), so
+  cells that differ only in the detection metric re-score cached traces
+  instead of re-acquiring;
+* **optional process pool** — independent grid cells can be spread over
+  a ``concurrent.futures`` process pool (``spec.workers > 1``); results
+  are identical to the serial order.
+
+The paper's Sec. V study itself lives in
+:func:`repro.core.pipeline.run_population_em_study` (re-exported here);
+both the platform method and the engine's grid cells are thin wrappers
+over that one implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.metrics import (
+    L1TraceMetric,
+    LocalMaximaSumMetric,
+    MaxDifferenceMetric,
+)
+from ..core.pipeline import (
+    HTDetectionPlatform,
+    PlatformConfig,
+    run_population_em_study,
+)
+from ..core.report import format_table
+from ..fpga.design import GoldenDesign
+from ..fpga.device import FPGADevice, virtex5_lx30
+from ..io.results import save_result, save_summary_csv
+from ..io.tracefile import save_traces
+from ..measurement.em_simulator import EMTrace
+from ..trojan.insertion import InfectedDesign
+from .spec import CampaignSpec, GridCell
+
+PathLike = Union[str, Path]
+
+#: Metric registry: spec metric name -> factory.
+METRIC_FACTORIES = {
+    "local_maxima_sum": LocalMaximaSumMetric,
+    "l1": L1TraceMetric,
+    "max_difference": MaxDifferenceMetric,
+}
+
+
+def build_metric(name: str):
+    """Instantiate a detection metric from its campaign-spec name."""
+    try:
+        return METRIC_FACTORIES[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown metric {name!r}; available: "
+            + ", ".join(METRIC_FACTORIES)
+        ) from exc
+
+
+@dataclass
+class CampaignRow:
+    """One summary row: one trojan in one grid cell."""
+
+    cell_index: int
+    num_dies: int
+    variant: str
+    metric: str
+    trojan: str
+    area_fraction: float
+    mu: float
+    sigma: float
+    false_negative_rate: float
+    detection_probability: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CampaignCellResult:
+    """Outcome of one executed grid cell."""
+
+    index: int
+    num_dies: int
+    variant: str
+    metric: str
+    rows: List[CampaignRow]
+    golden_score_mean: float
+    golden_score_std: float
+    elapsed_s: float
+    trace_archive: Optional[str] = None
+
+    def false_negative_rates(self) -> Dict[str, float]:
+        return {row.trojan: row.false_negative_rate for row in self.rows}
+
+
+@dataclass
+class CampaignResult:
+    """All cells of one campaign run, plus reporting helpers."""
+
+    spec: CampaignSpec
+    cells: List[CampaignCellResult]
+    elapsed_s: float = 0.0
+
+    def rows(self) -> List[CampaignRow]:
+        return [row for cell in self.cells for row in cell.rows]
+
+    def report(self) -> str:
+        return format_campaign_rows([row.to_dict() for row in self.rows()])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "elapsed_s": self.elapsed_s,
+            "cells": [
+                {
+                    "index": cell.index,
+                    "num_dies": cell.num_dies,
+                    "variant": cell.variant,
+                    "metric": cell.metric,
+                    "golden_score_mean": cell.golden_score_mean,
+                    "golden_score_std": cell.golden_score_std,
+                    "elapsed_s": cell.elapsed_s,
+                    "trace_archive": cell.trace_archive,
+                    "rows": [row.to_dict() for row in cell.rows],
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def save(self, directory: PathLike) -> Path:
+        """Persist the summary (JSON + CSV) under ``directory``.
+
+        Per-cell trace artifacts are written by the engine during the
+        run (``spec.save_traces``); this stores the machine-readable
+        summary next to them: one JSON tree and one CSV with one row per
+        (cell, trojan).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        summary_path = save_result(directory / f"{self.spec.name}.json",
+                                   self.to_dict())
+        save_summary_csv(directory / f"{self.spec.name}.csv",
+                         [row.to_dict() for row in self.rows()])
+        return summary_path
+
+
+def format_campaign_rows(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Human-readable table of campaign summary rows."""
+    header = ["cell", "dies", "variant", "metric", "trojan", "% of AES",
+              "mu", "sigma", "FN rate", "detection"]
+    table = [
+        [str(row["cell_index"]), str(row["num_dies"]), str(row["variant"]),
+         str(row["metric"]), str(row["trojan"]),
+         f"{100.0 * row['area_fraction']:.2f}%",
+         f"{row['mu']:.0f}", f"{row['sigma']:.0f}",
+         f"{100.0 * row['false_negative_rate']:.1f}%",
+         f"{100.0 * row['detection_probability']:.1f}%"]
+        for row in rows
+    ]
+    return format_table(header, table)
+
+
+class CampaignEngine:
+    """Executes a campaign grid with shared caches and batched acquisition."""
+
+    def __init__(self, spec: CampaignSpec,
+                 device: Optional[FPGADevice] = None,
+                 golden: Optional[GoldenDesign] = None):
+        self.spec = spec
+        self.device = device or virtex5_lx30()
+        self.golden = golden or GoldenDesign.build(device=self.device)
+        #: Trojan insertion cache shared by every platform of the grid.
+        self._infected_cache: Dict[str, InfectedDesign] = {}
+        self._platform_cache: Dict[Tuple[int, str], HTDetectionPlatform] = {}
+        self._acquisition_cache: Dict[
+            Tuple[int, str], Tuple[List[EMTrace], Dict[str, List[EMTrace]]]
+        ] = {}
+        self._artifact_dir: Optional[Path] = None
+        self._saved_archives: Dict[Tuple[int, str], str] = {}
+
+    # -- caches -------------------------------------------------------------------
+
+    def platform_for(self, cell: GridCell) -> HTDetectionPlatform:
+        """The (cached) detection platform of one grid cell.
+
+        Platforms are cached per (die count, variant): they share the
+        golden design and the infected-design cache, so the expensive
+        synthesis/insertion work happens once for the whole campaign.
+        """
+        cache_key = cell.acquisition_key
+        if cache_key not in self._platform_cache:
+            config = PlatformConfig(
+                num_dies=cell.num_dies,
+                seed=self.spec.seed,
+                em=cell.variant.build_em_config(),
+            )
+            self._platform_cache[cache_key] = HTDetectionPlatform(
+                device=self.device,
+                config=config,
+                golden=self.golden,
+                infected_cache=self._infected_cache,
+            )
+        return self._platform_cache[cache_key]
+
+    def acquire_cell_traces(self, cell: GridCell
+                            ) -> Tuple[List[EMTrace], Dict[str, List[EMTrace]]]:
+        """Acquire (or reuse) the population traces of one grid cell.
+
+        This is the golden-fingerprint cache: cells that differ only in
+        the metric share the acquired traces and therefore the golden
+        reference they induce.
+        """
+        cache_key = cell.acquisition_key
+        if cache_key not in self._acquisition_cache:
+            platform = self.platform_for(cell)
+            self._acquisition_cache[cache_key] = platform.acquire_population_traces(
+                self.spec.trojans, self.spec.plaintext, self.spec.key
+            )
+        return self._acquisition_cache[cache_key]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_cell(self, cell: GridCell) -> CampaignCellResult:
+        """Execute one grid cell: acquire (or reuse) traces, score, decide."""
+        start = time.perf_counter()
+        platform = self.platform_for(cell)
+        golden_traces, infected_traces = self.acquire_cell_traces(cell)
+        study = run_population_em_study(
+            platform,
+            trojan_names=self.spec.trojans,
+            metric=build_metric(cell.metric),
+            traces=(golden_traces, infected_traces),
+        )
+        golden_fit = study.characterisations[self.spec.trojans[0]].genuine
+        rows = [
+            CampaignRow(
+                cell_index=cell.index,
+                num_dies=cell.num_dies,
+                variant=cell.variant.name,
+                metric=cell.metric,
+                trojan=name,
+                area_fraction=study.trojan_area_fractions[name],
+                mu=study.characterisations[name].mu,
+                sigma=study.characterisations[name].sigma,
+                false_negative_rate=study.characterisations[name].false_negative_rate,
+                detection_probability=study.characterisations[name].detection_probability,
+            )
+            for name in self.spec.trojans
+        ]
+        trace_archive = self._maybe_save_traces(cell, golden_traces,
+                                                infected_traces)
+        return CampaignCellResult(
+            index=cell.index,
+            num_dies=cell.num_dies,
+            variant=cell.variant.name,
+            metric=cell.metric,
+            rows=rows,
+            golden_score_mean=float(golden_fit.mean),
+            golden_score_std=float(golden_fit.std),
+            elapsed_s=time.perf_counter() - start,
+            trace_archive=trace_archive,
+        )
+
+    def _maybe_save_traces(self, cell: GridCell,
+                           golden_traces: Sequence[EMTrace],
+                           infected_traces: Mapping[str, Sequence[EMTrace]]
+                           ) -> Optional[str]:
+        """Persist the cell's trace artifact (once per acquisition key).
+
+        Ownership is deterministic — the lowest-index cell of each
+        acquisition key writes the archive — so parallel workers never
+        race on the same file.
+        """
+        if self._artifact_dir is None or not self.spec.save_traces:
+            return None
+        cache_key = cell.acquisition_key
+        owner = min(other.index for other in self.spec.grid()
+                    if other.acquisition_key == cache_key)
+        archive = (self._artifact_dir
+                   / f"traces_d{cell.num_dies}_{cell.variant.name}.npz")
+        if cell.index == owner and cache_key not in self._saved_archives:
+            all_traces = list(golden_traces)
+            for name in self.spec.trojans:
+                all_traces.extend(infected_traces[name])
+            save_traces(archive, all_traces)
+            self._saved_archives[cache_key] = str(archive)
+        return str(archive)
+
+    def run(self, artifact_dir: Optional[PathLike] = None) -> CampaignResult:
+        """Execute the whole grid (serial or over a process pool)."""
+        start = time.perf_counter()
+        self._artifact_dir = None if artifact_dir is None else Path(artifact_dir)
+        self._saved_archives.clear()
+        if self._artifact_dir is not None:
+            self._artifact_dir.mkdir(parents=True, exist_ok=True)
+        if self.spec.save_traces and self._artifact_dir is None:
+            raise ValueError(
+                "spec.save_traces requires an artifact_dir to write the "
+                "trace archives to"
+            )
+        cells = self.spec.grid()
+        if self.spec.workers <= 1 or len(cells) <= 1:
+            results = [self.run_cell(cell) for cell in cells]
+        else:
+            results = self._run_parallel(cells)
+        result = CampaignResult(
+            spec=self.spec,
+            cells=results,
+            elapsed_s=time.perf_counter() - start,
+        )
+        if self._artifact_dir is not None:
+            result.save(self._artifact_dir)
+        return result
+
+    def _run_parallel(self, cells: List[GridCell]) -> List[CampaignCellResult]:
+        """Spread cells over a process pool, preserving serial ordering.
+
+        Cells are chunked by acquisition key so a worker reuses its
+        acquisition cache across the metrics of one (die count, variant)
+        point instead of re-acquiring per cell.
+        """
+        chunks: Dict[Tuple[int, str], List[int]] = {}
+        for cell in cells:
+            chunks.setdefault(cell.acquisition_key, []).append(cell.index)
+        spec_dict = self.spec.to_dict()
+        artifact = str(self._artifact_dir) if self._artifact_dir else None
+        workers = min(self.spec.workers, len(chunks))
+        results: Dict[int, CampaignCellResult] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # The engine's device and golden design travel with the
+            # payload so workers compute on exactly what this engine was
+            # built with (a custom device/golden must not silently fall
+            # back to the defaults).
+            for chunk_results in pool.map(
+                    _run_cells_in_subprocess,
+                    [(spec_dict, indices, artifact, self.device, self.golden)
+                     for indices in chunks.values()]):
+                for cell_result in chunk_results:
+                    results[cell_result.index] = cell_result
+        return [results[cell.index] for cell in cells]
+
+
+def _run_cells_in_subprocess(payload: Tuple[Dict[str, Any], List[int],
+                                            Optional[str], FPGADevice,
+                                            GoldenDesign]
+                             ) -> List[CampaignCellResult]:
+    """Worker entry point: rebuild the engine and run a chunk of cells."""
+    spec_dict, indices, artifact_dir, device, golden = payload
+    engine = CampaignEngine(CampaignSpec.from_dict(spec_dict),
+                            device=device, golden=golden)
+    if artifact_dir is not None:
+        engine._artifact_dir = Path(artifact_dir)
+    grid = engine.spec.grid()
+    return [engine.run_cell(grid[index]) for index in indices]
+
+
+def run_campaign(spec: CampaignSpec,
+                 artifact_dir: Optional[PathLike] = None) -> CampaignResult:
+    """Convenience one-shot: build an engine and run the campaign."""
+    return CampaignEngine(spec).run(artifact_dir=artifact_dir)

@@ -1,0 +1,262 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of detection scenarios swept in one go:
+
+    (trojan names) x (die-population sizes) x (acquisition variants)
+                   x (detection metrics)
+
+:class:`CampaignSpec` describes the grid declaratively (and round-trips
+through JSON so campaigns can be stored next to their results);
+:func:`CampaignSpec.grid` expands it into :class:`GridCell` work items
+the :class:`~repro.campaigns.engine.CampaignEngine` executes.  One cell
+is one full Sec. V population study — all trojans of the spec measured
+over one die population under one acquisition configuration, scored with
+one metric.
+
+Acquisition variants are expressed as dotted-path overrides applied on
+top of the default :class:`~repro.measurement.em_simulator.EMAcquisitionConfig`,
+e.g. ``{"noise.sigma_single_shot": 400.0, "oscilloscope.num_averages":
+250}`` — every numeric field of the acquisition config (including the
+nested probe/amplifier/oscilloscope/noise models) can be swept without
+touching code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..measurement.em_simulator import EMAcquisitionConfig
+from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
+from ..trojan.library import TROJAN_SPECS
+
+PathLike = Union[str, Path]
+
+#: Metric names accepted by ``CampaignSpec.metrics`` (resolved by the
+#: engine's metric registry).
+KNOWN_METRICS = ("local_maxima_sum", "l1", "max_difference")
+
+
+
+def apply_em_overrides(config: EMAcquisitionConfig,
+                       overrides: Mapping[str, Any]) -> EMAcquisitionConfig:
+    """Return a copy of ``config`` with dotted-path overrides applied.
+
+    ``"clock_frequency_mhz"`` targets the top-level config;
+    ``"noise.sigma_single_shot"`` targets a field of a nested dataclass.
+    Unknown paths raise ``ValueError`` so a typo in a spec fails loudly
+    instead of silently sweeping nothing.
+    """
+    grouped: Dict[str, Dict[str, Any]] = {}
+    flat: Dict[str, Any] = {}
+    for path, value in overrides.items():
+        head, _, rest = str(path).partition(".")
+        if rest:
+            grouped.setdefault(head, {})[rest] = value
+        else:
+            flat[head] = value
+    field_names = {f.name for f in dataclasses.fields(config)}
+    for name in list(flat) + list(grouped):
+        if name not in field_names:
+            raise ValueError(
+                f"unknown acquisition config field {name!r}; available: "
+                + ", ".join(sorted(field_names))
+            )
+    for head, nested_overrides in grouped.items():
+        nested = getattr(config, head)
+        if not dataclasses.is_dataclass(nested):
+            raise ValueError(
+                f"{head!r} is not a nested config, cannot apply "
+                f"{sorted(nested_overrides)}"
+            )
+        nested_fields = {f.name for f in dataclasses.fields(nested)}
+        unknown = set(nested_overrides) - nested_fields
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {sorted(unknown)} in {head!r}; available: "
+                + ", ".join(sorted(nested_fields))
+            )
+        flat[head] = dataclasses.replace(nested, **nested_overrides)
+    return dataclasses.replace(config, **flat)
+
+
+@dataclass(frozen=True)
+class AcquisitionVariant:
+    """One named point of the acquisition-configuration grid."""
+
+    name: str
+    em_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variant name must be non-empty")
+        object.__setattr__(self, "em_overrides",
+                           tuple((str(k), v) for k, v in
+                                 dict(self.em_overrides).items()))
+
+    @classmethod
+    def make(cls, name: str,
+             em_overrides: Optional[Mapping[str, Any]] = None
+             ) -> "AcquisitionVariant":
+        return cls(name=name,
+                   em_overrides=tuple((em_overrides or {}).items()))
+
+    def overrides_dict(self) -> Dict[str, Any]:
+        return dict(self.em_overrides)
+
+    def build_em_config(self) -> EMAcquisitionConfig:
+        """The acquisition configuration of this variant."""
+        return apply_em_overrides(EMAcquisitionConfig(),
+                                  self.overrides_dict())
+
+
+#: The unmodified paper bench.
+DEFAULT_VARIANT = AcquisitionVariant(name="paper")
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One executable cell of the campaign grid."""
+
+    index: int
+    num_dies: int
+    variant: AcquisitionVariant
+    metric: str
+
+    @property
+    def acquisition_key(self) -> Tuple[int, str]:
+        """Cells sharing this key reuse the same acquired traces."""
+        return (self.num_dies, self.variant.name)
+
+    def describe(self) -> str:
+        return (f"cell {self.index}: {self.num_dies} dies, "
+                f"variant {self.variant.name!r}, metric {self.metric!r}")
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of a scenario-sweep campaign."""
+
+    name: str = "campaign"
+    trojans: Tuple[str, ...] = ("HT1", "HT2", "HT3")
+    die_counts: Tuple[int, ...] = (8,)
+    variants: Tuple[AcquisitionVariant, ...] = (DEFAULT_VARIANT,)
+    metrics: Tuple[str, ...] = ("local_maxima_sum",)
+    seed: int = 2015
+    plaintext: bytes = DEFAULT_PLAINTEXT
+    key: bytes = DEFAULT_KEY
+    workers: int = 1
+    save_traces: bool = False
+
+    def __post_init__(self) -> None:
+        self.trojans = tuple(self.trojans)
+        self.die_counts = tuple(int(count) for count in self.die_counts)
+        self.variants = tuple(self.variants)
+        self.metrics = tuple(self.metrics)
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.trojans:
+            raise ValueError("a campaign needs at least one trojan")
+        unknown_trojans = [name for name in self.trojans
+                           if name not in TROJAN_SPECS]
+        if unknown_trojans:
+            raise ValueError(
+                f"unknown trojan(s) {unknown_trojans}; available: "
+                + ", ".join(TROJAN_SPECS)
+            )
+        if not self.die_counts or min(self.die_counts) < 2:
+            raise ValueError("die_counts must all be >= 2 (the population "
+                             "detector needs at least two golden dies)")
+        if not self.variants:
+            raise ValueError("a campaign needs at least one variant")
+        if len({variant.name for variant in self.variants}) != len(self.variants):
+            raise ValueError("variant names must be unique")
+        unknown = [m for m in self.metrics if m not in KNOWN_METRICS]
+        if not self.metrics or unknown:
+            raise ValueError(
+                f"unknown metric(s) {unknown}; available: "
+                + ", ".join(KNOWN_METRICS)
+            )
+        if len(self.plaintext) != 16:
+            raise ValueError("plaintext must be 16 bytes")
+        if len(self.key) not in (16, 24, 32):
+            raise ValueError("key must be 16, 24 or 32 bytes")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    # -- grid expansion ----------------------------------------------------------
+
+    def grid(self) -> List[GridCell]:
+        """Expand the spec into its ordered list of grid cells."""
+        cells: List[GridCell] = []
+        for num_dies in self.die_counts:
+            for variant in self.variants:
+                for metric in self.metrics:
+                    cells.append(GridCell(
+                        index=len(cells),
+                        num_dies=num_dies,
+                        variant=variant,
+                        metric=metric,
+                    ))
+        return cells
+
+    def num_cells(self) -> int:
+        return len(self.die_counts) * len(self.variants) * len(self.metrics)
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trojans": list(self.trojans),
+            "die_counts": list(self.die_counts),
+            "variants": [
+                {"name": variant.name,
+                 "em_overrides": variant.overrides_dict()}
+                for variant in self.variants
+            ],
+            "metrics": list(self.metrics),
+            "seed": self.seed,
+            "plaintext": self.plaintext.hex(),
+            "key": self.key.hex(),
+            "workers": self.workers,
+            "save_traces": self.save_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        kwargs: Dict[str, Any] = dict(payload)
+        if "variants" in kwargs:
+            kwargs["variants"] = tuple(
+                AcquisitionVariant.make(entry["name"],
+                                        entry.get("em_overrides"))
+                for entry in kwargs["variants"]
+            )
+        for key_name in ("plaintext", "key"):
+            if isinstance(kwargs.get(key_name), str):
+                kwargs[key_name] = bytes.fromhex(kwargs[key_name])
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ValueError(f"unknown campaign spec field(s) {sorted(unknown)}")
+        return cls(**kwargs)
+
+    def save(self, path: PathLike) -> Path:
+        """Write the spec as JSON."""
+        path = Path(path)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignSpec":
+        """Load a spec previously written by :meth:`save` (or hand-written)."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"campaign spec {path} does not exist")
+        return cls.from_dict(json.loads(path.read_text()))

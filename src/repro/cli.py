@@ -7,15 +7,20 @@ Sub-commands:
 * ``em``         — run the Sec. IV same-die EM study,
 * ``headline``   — run the Sec. V inter-die study and print FN rates,
 * ``experiments``— run the whole figure/table suite and print the
-  paper-vs-measured summary.
+  paper-vs-measured summary,
+* ``campaign``   — batched scenario sweeps: ``campaign run`` executes a
+  (trojans x dies x acquisition variants x metrics) grid through the
+  :mod:`repro.campaigns` engine, ``campaign report`` pretty-prints a
+  stored summary.
 
-Every command accepts ``--quick`` (reduced campaign, same code paths)
-and ``--seed``.
+Every study command accepts ``--quick`` (reduced campaign, same code
+paths) and ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -83,7 +88,7 @@ def cmd_headline(args: argparse.Namespace) -> int:
     platform = config.build_platform()
     study = platform.run_population_em_study()
     print(population_em_report(study))
-    result = headline.run(config, platform)
+    result = headline.run(config, platform, study=study)
     detection = result.largest_trojan_detection()
     print(f"\nLargest trojan detection probability: {percentage(detection)} "
           "(paper: > 95%)")
@@ -95,6 +100,54 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     suite = runner.run_all(config)
     print(suite.summary_table())
     return 0 if suite.all_shapes_match() else 1
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaigns import AcquisitionVariant, CampaignEngine, CampaignSpec
+
+    if args.spec is not None:
+        spec = CampaignSpec.load(args.spec)
+    else:
+        spec = CampaignSpec(
+            name=args.name,
+            trojans=tuple(args.trojan or ("HT1", "HT2", "HT3")),
+            die_counts=tuple(args.dies or (8,)),
+            variants=(AcquisitionVariant.make("paper"),),
+            metrics=tuple(args.metric or ("local_maxima_sum",)),
+        )
+    if args.seed is not None:
+        spec.seed = args.seed
+    if args.workers is not None:
+        spec.workers = args.workers
+    if args.save_traces:
+        spec.save_traces = True
+    if spec.save_traces and args.out is None:
+        print("error: --save-traces needs --out DIR to write the archives to",
+              file=sys.stderr)
+        return 2
+    engine = CampaignEngine(spec)
+    result = engine.run(artifact_dir=args.out)
+    print(result.report())
+    print(f"\n{len(result.cells)} grid cells in {result.elapsed_s:.2f} s")
+    if args.out is not None:
+        print(f"summary written to {args.out}")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .campaigns import format_campaign_rows
+
+    payload = json.loads(Path(args.results).read_text())
+    rows = [row for cell in payload.get("cells", []) for row in cell["rows"]]
+    if not rows:
+        print("no campaign rows in", args.results)
+        return 1
+    print(f"campaign {payload['spec']['name']!r} "
+          f"({len(payload['cells'])} cells, {payload['elapsed_s']:.2f} s)")
+    print(format_campaign_rows(rows))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +185,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_campaign = subparsers.add_parser(
+        "campaign", help="batched scenario sweeps (trojans x dies x configs)"
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+
+    p_run = campaign_sub.add_parser(
+        "run", help="execute a campaign grid and print the summary table"
+    )
+    p_run.add_argument("--spec", default=None,
+                       help="JSON campaign spec (overrides the flags below)")
+    p_run.add_argument("--name", default="campaign", help="campaign name")
+    p_run.add_argument("--trojan", action="append", default=None,
+                       help="trojan name (repeatable; default HT1 HT2 HT3)")
+    p_run.add_argument("--dies", action="append", type=int, default=None,
+                       help="die-population size (repeatable; default 8)")
+    p_run.add_argument("--metric", action="append", default=None,
+                       choices=["local_maxima_sum", "l1", "max_difference"],
+                       help="detection metric (repeatable)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the campaign seed")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for independent grid cells")
+    p_run.add_argument("--out", default=None,
+                       help="directory for the JSON/CSV summary and artifacts")
+    p_run.add_argument("--save-traces", action="store_true",
+                       help="also archive the acquired traces (.npz) per cell")
+    p_run.set_defaults(func=cmd_campaign_run)
+
+    p_report = campaign_sub.add_parser(
+        "report", help="pretty-print a stored campaign summary"
+    )
+    p_report.add_argument("results", help="campaign summary JSON file")
+    p_report.set_defaults(func=cmd_campaign_report)
 
     return parser
 

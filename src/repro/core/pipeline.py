@@ -24,6 +24,7 @@ import numpy as np
 
 from ..fpga.design import GoldenDesign
 from ..fpga.device import FPGADevice, virtex5_lx30
+from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
 from ..measurement.delay_meter import (
     DelayMeasurement,
     DelayMeasurementConfig,
@@ -105,13 +106,19 @@ class HTDetectionPlatform:
 
     def __init__(self, device: Optional[FPGADevice] = None,
                  config: Optional[PlatformConfig] = None,
-                 golden: Optional[GoldenDesign] = None):
+                 golden: Optional[GoldenDesign] = None,
+                 infected_cache: Optional[Dict[str, InfectedDesign]] = None):
         self.device = device or virtex5_lx30()
         self.config = config or PlatformConfig()
         self.golden = golden or GoldenDesign.build(device=self.device)
         self.population = DiePopulation(size=self.config.num_dies,
                                         seed=self.config.seed)
-        self._infected_cache: Dict[str, InfectedDesign] = {}
+        # ``infected_cache`` may be a dict shared between several
+        # platforms (the campaign engine passes one so trojan insertion
+        # happens once per trojan across the whole grid).
+        self._infected_cache: Dict[str, InfectedDesign] = (
+            infected_cache if infected_cache is not None else {}
+        )
         self.delay_meter = PathDelayMeter(self.config.delay)
         self.em_simulator = EMSimulator(self.config.em)
 
@@ -229,19 +236,58 @@ class HTDetectionPlatform:
 
     # -- Sec. V: population EM study -------------------------------------------------------------
 
+    def _population_stimulus(self, plaintext: Optional[bytes],
+                             key: Optional[bytes]) -> "tuple[bytes, bytes]":
+        plaintext = plaintext if plaintext is not None else DEFAULT_PLAINTEXT
+        key = key if key is not None else DEFAULT_KEY
+        return plaintext, key
+
+    def _die_rngs(self) -> List[np.random.Generator]:
+        """One noise stream per die, seeded as the Sec. V campaign does."""
+        return [np.random.default_rng(self.config.seed + 1000 + die_index)
+                for die_index in range(len(self.population))]
+
     def acquire_population_traces(self, trojan_names: Sequence[str],
                                   plaintext: Optional[bytes] = None,
                                   key: Optional[bytes] = None
                                   ) -> "tuple[List[EMTrace], Dict[str, List[EMTrace]]]":
-        """One averaged trace per (design, die): the 32 traces of Sec. V-A."""
-        plaintext = plaintext if plaintext is not None else bytes(range(16))
-        key = key if key is not None else bytes.fromhex(
-            "000102030405060708090a0b0c0d0e0f"
+        """One averaged trace per (design, die): the 32 traces of Sec. V-A.
+
+        The acquisition is batched: every design's traces across the
+        whole die population are synthesised in one vectorised NumPy pass
+        (:meth:`EMSimulator.acquire_batch`).  Each die keeps its own
+        noise stream, consumed in the same order as the per-die loop of
+        :meth:`acquire_population_traces_serial`, so the traces are
+        bit-identical to the serial reference implementation.
+        """
+        plaintext, key = self._population_stimulus(plaintext, key)
+        die_indices = range(len(self.population))
+        rngs = self._die_rngs()
+        golden_traces = self.em_simulator.acquire_batch(
+            [self.golden_dut(die_index) for die_index in die_indices],
+            plaintext, key, rngs, new_setup_installation=True,
         )
+        infected_traces: Dict[str, List[EMTrace]] = {}
+        for name in trojan_names:
+            infected_traces[name] = self.em_simulator.acquire_batch(
+                [self.infected_dut(name, die_index) for die_index in die_indices],
+                plaintext, key, rngs, new_setup_installation=True,
+            )
+        return golden_traces, infected_traces
+
+    def acquire_population_traces_serial(self, trojan_names: Sequence[str],
+                                         plaintext: Optional[bytes] = None,
+                                         key: Optional[bytes] = None
+                                         ) -> "tuple[List[EMTrace], Dict[str, List[EMTrace]]]":
+        """Reference per-die acquisition loop (one :meth:`acquire` per DUT).
+
+        Kept as the ground truth the batched path is validated (and
+        benchmarked) against.
+        """
+        plaintext, key = self._population_stimulus(plaintext, key)
         golden_traces: List[EMTrace] = []
         infected_traces: Dict[str, List[EMTrace]] = {name: [] for name in trojan_names}
-        for die_index in range(len(self.population)):
-            rng = np.random.default_rng(self.config.seed + 1000 + die_index)
+        for die_index, rng in enumerate(self._die_rngs()):
             golden_traces.append(
                 self.em_simulator.acquire(
                     self.golden_dut(die_index), plaintext, key, rng,
@@ -262,22 +308,50 @@ class HTDetectionPlatform:
                                 key: Optional[bytes] = None,
                                 metric: Optional[LocalMaximaSumMetric] = None
                                 ) -> PopulationEMStudyResult:
-        """HT size sweep across the die population (Figs. 6-7, headline numbers)."""
-        golden_traces, infected_traces = self.acquire_population_traces(
+        """HT size sweep across the die population (Figs. 6-7, headline numbers).
+
+        Thin wrapper over :func:`run_population_em_study`, the single
+        implementation shared with the campaign engine's grid cells.
+        """
+        return run_population_em_study(
+            self, trojan_names=trojan_names, plaintext=plaintext, key=key,
+            metric=metric,
+        )
+
+
+def run_population_em_study(platform: "HTDetectionPlatform",
+                            trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
+                            plaintext: Optional[bytes] = None,
+                            key: Optional[bytes] = None,
+                            metric: Optional[LocalMaximaSumMetric] = None,
+                            traces: "Optional[tuple]" = None
+                            ) -> PopulationEMStudyResult:
+    """The Sec. V inter-die study (HT size sweep over a die population).
+
+    One implementation serves both the paper path
+    (:meth:`HTDetectionPlatform.run_population_em_study`) and the
+    campaign engine's grid cells; ``traces`` lets callers feed an
+    already-acquired ``(golden_traces, infected_traces)`` population
+    instead of re-acquiring.
+    """
+    if traces is None:
+        golden_traces, infected_traces = platform.acquire_population_traces(
             trojan_names, plaintext, key
         )
-        detector = PopulationEMDetector(metric=metric)
-        reference = detector.fit_reference(golden_traces)
+    else:
+        golden_traces, infected_traces = traces
+    detector = PopulationEMDetector(metric=metric)
+    reference = detector.fit_reference(golden_traces)
 
-        characterisations: Dict[str, PopulationCharacterisation] = {}
-        area_fractions: Dict[str, float] = {}
-        for name in trojan_names:
-            characterisations[name] = detector.characterise(infected_traces[name])
-            area_fractions[name] = self.infected_design(name).area_fraction_of_aes()
-        return PopulationEMStudyResult(
-            reference=reference,
-            golden_traces=golden_traces,
-            infected_traces=infected_traces,
-            characterisations=characterisations,
-            trojan_area_fractions=area_fractions,
-        )
+    characterisations: Dict[str, PopulationCharacterisation] = {}
+    area_fractions: Dict[str, float] = {}
+    for name in trojan_names:
+        characterisations[name] = detector.characterise(infected_traces[name])
+        area_fractions[name] = platform.infected_design(name).area_fraction_of_aes()
+    return PopulationEMStudyResult(
+        reference=reference,
+        golden_traces=golden_traces,
+        infected_traces=infected_traces,
+        characterisations=characterisations,
+        trojan_area_fractions=area_fractions,
+    )

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..core.pipeline import HTDetectionPlatform, PlatformConfig
 from ..measurement.delay_meter import DelayMeasurementConfig
+from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
 
 
 @dataclass
@@ -73,5 +74,5 @@ class ExperimentConfig:
 
 #: Fixed plaintext/key used by the EM experiments (the paper fixes the
 #: plaintext but does not disclose it; any fixed value plays that role).
-FIXED_PLAINTEXT = bytes(range(16))
-FIXED_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIXED_PLAINTEXT = DEFAULT_PLAINTEXT
+FIXED_KEY = DEFAULT_KEY

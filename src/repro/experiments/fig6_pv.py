@@ -55,14 +55,23 @@ class Fig6Result:
 
 def run(config: Optional[ExperimentConfig] = None,
         platform: Optional[HTDetectionPlatform] = None,
-        trojan_names: Sequence[str] = ("HT1", "HT2", "HT3")) -> Fig6Result:
-    """Acquire the 4-design x N-die traces and build the Fig. 6 differences."""
+        trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
+        traces: "Optional[tuple]" = None) -> Fig6Result:
+    """Acquire the 4-design x N-die traces and build the Fig. 6 differences.
+
+    ``traces`` optionally feeds an already-acquired
+    ``(golden_traces, infected_traces)`` population (e.g. from the
+    campaign engine) so the suite acquires each population only once.
+    """
     config = config or ExperimentConfig.fast()
     platform = platform or config.build_platform()
 
-    golden_traces, infected_traces = platform.acquire_population_traces(
-        trojan_names, plaintext=FIXED_PLAINTEXT, key=FIXED_KEY
-    )
+    if traces is not None:
+        golden_traces, infected_traces = traces
+    else:
+        golden_traces, infected_traces = platform.acquire_population_traces(
+            trojan_names, plaintext=FIXED_PLAINTEXT, key=FIXED_KEY
+        )
     reference = mean_trace(golden_traces)
     golden_differences = [abs_difference(trace, reference)
                           for trace in golden_traces]

@@ -79,13 +79,19 @@ class HeadlineResult:
 
 def run(config: Optional[ExperimentConfig] = None,
         platform: Optional[HTDetectionPlatform] = None,
-        trojan_names: Sequence[str] = ("HT1", "HT2", "HT3")) -> HeadlineResult:
-    """Produce the headline false-negative-rate table."""
+        trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
+        study: Optional[PopulationEMStudyResult] = None) -> HeadlineResult:
+    """Produce the headline false-negative-rate table.
+
+    ``study`` optionally reuses an already-run population study (e.g.
+    from the campaign engine) instead of re-acquiring the population.
+    """
     config = config or ExperimentConfig.fast()
     platform = platform or config.build_platform()
-    study = platform.run_population_em_study(
-        trojan_names=trojan_names, plaintext=FIXED_PLAINTEXT, key=FIXED_KEY
-    )
+    if study is None:
+        study = platform.run_population_em_study(
+            trojan_names=trojan_names, plaintext=FIXED_PLAINTEXT, key=FIXED_KEY
+        )
     rows: List[HeadlineRow] = []
     for name in trojan_names:
         characterisation = study.characterisations[name]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.pipeline import HTDetectionPlatform
+from ..core.pipeline import HTDetectionPlatform, run_population_em_study
 from ..core.report import format_table, percentage
 from . import (
     fig1_timing,
@@ -24,7 +24,7 @@ from . import (
     headline,
     table_ht_sizes,
 )
-from .config import ExperimentConfig
+from .config import FIXED_KEY, FIXED_PLAINTEXT, ExperimentConfig
 
 
 @dataclass
@@ -129,8 +129,17 @@ def run_all(config: Optional[ExperimentConfig] = None) -> SuiteResult:
         matches_shape=r5.detected and r5.contrast() > 1.5,
     ))
 
+    # FIG6 / HEADLINE share one Sec. V population study, run once through
+    # the campaign engine (the platform method is a thin wrapper over it).
+    population_study = run_population_em_study(
+        platform, trojan_names=("HT1", "HT2", "HT3"),
+        plaintext=FIXED_PLAINTEXT, key=FIXED_KEY,
+    )
+
     # FIG6 -------------------------------------------------------------------
-    r6 = fig6_pv.run(config, platform)
+    r6 = fig6_pv.run(config, platform,
+                     traces=(population_study.golden_traces,
+                             population_study.infected_traces))
     results["fig6"] = r6
     above = {name: r6.exceeds_pv_envelope(name) for name in r6.trojan_names}
     summaries.append(ExperimentSummary(
@@ -171,7 +180,7 @@ def run_all(config: Optional[ExperimentConfig] = None) -> SuiteResult:
     ))
 
     # HEADLINE ---------------------------------------------------------------
-    rh = headline.run(config, platform)
+    rh = headline.run(config, platform, study=population_study)
     results["headline"] = rh
     summaries.append(ExperimentSummary(
         experiment="Headline FN vs HT size",

@@ -8,10 +8,11 @@ traces and diffed between runs.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -54,6 +55,33 @@ def save_result(path: PathLike, result: Any) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = to_jsonable(result)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def save_summary_csv(path: PathLike,
+                     rows: Sequence[Mapping[str, Any]]) -> Path:
+    """Write flat summary rows (e.g. one per campaign grid cell) as CSV.
+
+    The column set is the union of the row keys, in first-seen order, so
+    heterogeneous rows degrade gracefully instead of raising.
+    """
+    if not rows:
+        raise ValueError("cannot save an empty summary")
+    path = Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames: list = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: to_jsonable(value)
+                             for key, value in row.items()})
     return path
 
 

@@ -173,14 +173,13 @@ class PathDelayMeter:
             input_arrival_ps=0.0,
         )
 
-    def arrival_times_ps(self, dut: DeviceUnderTest,
-                         pair: PlaintextKeyPair) -> np.ndarray:
-        """Noiseless per-bit arrival times for one (P, K) pair.
+    def pair_transitions(self, dut: DeviceUnderTest, pair: PlaintextKeyPair
+                         ) -> "Tuple[Dict[str, int], Dict[str, int]]":
+        """Attacked-round (before, after) input vectors for one (P, K) pair.
 
-        The attacked round's input transition is derived from the AES
-        round trace: the state register switches from the round-9 input
-        to the round-10 input, and the round-key input from key 9 to
-        key 10.  Bits whose flip-flop D input does not toggle get NaN.
+        The stimulus only depends on the pair and the host circuit — not
+        on the die or the inserted trojan — so batch campaigns compute it
+        once and share it across every device under test.
         """
         aes = AES(pair.key)
         trace = aes.encrypt_trace(pair.plaintext)
@@ -194,7 +193,26 @@ class PathDelayMeter:
                                       aes.round_keys[attacked - 1])
         after = circuit.input_values(trace.round(attacked).state_in,
                                      aes.round_keys[attacked])
-        engine = self._timing_engine(dut)
+        return before, after
+
+    def arrival_times_ps(self, dut: DeviceUnderTest,
+                         pair: PlaintextKeyPair,
+                         engine: Optional[TimingEngine] = None,
+                         transitions: Optional[tuple] = None) -> np.ndarray:
+        """Noiseless per-bit arrival times for one (P, K) pair.
+
+        The attacked round's input transition is derived from the AES
+        round trace: the state register switches from the round-9 input
+        to the round-10 input, and the round-key input from key 9 to
+        key 10.  Bits whose flip-flop D input does not toggle get NaN.
+        ``engine`` and ``transitions`` let batch campaigns reuse the
+        per-DUT timing engine and the per-pair stimulus.
+        """
+        circuit = dut.circuit
+        before, after = (transitions if transitions is not None
+                         else self.pair_transitions(dut, pair))
+        if engine is None:
+            engine = self._timing_engine(dut)
         result = engine.two_vector_arrival_times(before, after)
         endpoint_delays = engine.endpoint_delays(result, circuit.output_d_nets())
 
@@ -226,8 +244,12 @@ class PathDelayMeter:
                 worst = max(worst, float(finite.max()))
         if worst <= 0.0:
             raise ValueError("no observable path found during calibration")
+        return self._calibrated_glitch(worst)
+
+    def _calibrated_glitch(self, worst_path_ps: float) -> ClockGlitchGenerator:
+        """The sweep this meter's configuration centres on a worst path."""
         return ClockGlitchGenerator.calibrated(
-            worst_path_ps=worst,
+            worst_path_ps=worst_path_ps,
             budget=self.config.budget,
             margin_steps=self.config.calibration_margin_steps,
             step_ps=self.config.glitch_step_ps,
@@ -265,9 +287,15 @@ class PathDelayMeter:
         stale or random resolution), evaluated for every (repetition,
         bit, step) at once.
         """
+        arrivals = self.arrival_times_ps(dut, pair)
+        return self._pair_measurement(pair, arrivals, glitch, rng)
+
+    def _pair_measurement(self, pair: PlaintextKeyPair, arrivals: np.ndarray,
+                          glitch: ClockGlitchGenerator,
+                          rng: np.random.Generator) -> PairMeasurement:
+        """Sample the steps-to-fault matrix from precomputed arrival times."""
         config = self.config
         fault_model = config.fault_model
-        arrivals = self.arrival_times_ps(dut, pair)
         periods = np.asarray(glitch.periods())  # (S+1,)
         repetitions = config.repetitions
 
@@ -325,6 +353,79 @@ class PathDelayMeter:
                            else glitch[pair.index])
             measurement.pairs.append(self.measure_pair(dut, pair, pair_glitch, rng))
         return measurement
+
+    def measure_batch(self, duts: Sequence[DeviceUnderTest],
+                      pairs: Sequence[PlaintextKeyPair],
+                      glitch=None,
+                      seeds: Optional[Sequence[int]] = None
+                      ) -> List[DelayMeasurement]:
+        """Run the campaign on many DUTs, sharing the per-pair stimulus.
+
+        The AES round trace and the attacked-round input vectors of every
+        (P, K) pair depend only on the host circuit, so they are computed
+        once and reused for each device; each DUT also reuses a single
+        timing engine across pairs.  ``seeds[i]`` seeds DUT ``i``'s noise
+        stream; the result is identical to calling :meth:`measure` per
+        DUT with the same seed.
+        """
+        if not pairs:
+            raise ValueError("the campaign needs at least one (P, K) pair")
+        if seeds is not None and len(seeds) != len(duts):
+            raise ValueError(f"got {len(seeds)} seeds for {len(duts)} DUTs")
+        transition_cache: Dict[tuple, tuple] = {}
+
+        def transitions_for(dut: DeviceUnderTest,
+                            pair: PlaintextKeyPair) -> tuple:
+            cache_key = (id(dut.circuit), pair.index)
+            if cache_key not in transition_cache:
+                transition_cache[cache_key] = self.pair_transitions(dut, pair)
+            return transition_cache[cache_key]
+
+        measurements: List[DelayMeasurement] = []
+        for dut_index, dut in enumerate(duts):
+            engine = self._timing_engine(dut)
+            arrivals = {
+                pair.index: self.arrival_times_ps(
+                    dut, pair, engine=engine,
+                    transitions=transitions_for(dut, pair),
+                )
+                for pair in pairs
+            }
+            dut_glitch = glitch
+            if dut_glitch is None:
+                # Same per-pair calibration as calibrate_glitches, with
+                # the already-computed arrivals reused.
+                dut_glitch = {
+                    pair.index: self._calibrated_glitch(
+                        self._worst_arrival(arrivals[pair.index])
+                    )
+                    for pair in pairs
+                }
+            seed = self.config.seed if seeds is None else seeds[dut_index]
+            rng = np.random.default_rng(seed)
+            first_glitch = (dut_glitch
+                            if isinstance(dut_glitch, ClockGlitchGenerator)
+                            else dut_glitch[pairs[0].index])
+            measurement = DelayMeasurement(label=dut.label, glitch=first_glitch,
+                                           config=self.config)
+            for pair in pairs:
+                pair_glitch = (dut_glitch
+                               if isinstance(dut_glitch, ClockGlitchGenerator)
+                               else dut_glitch[pair.index])
+                measurement.pairs.append(
+                    self._pair_measurement(pair, arrivals[pair.index],
+                                           pair_glitch, rng)
+                )
+            measurements.append(measurement)
+        return measurements
+
+    @staticmethod
+    def _worst_arrival(arrivals: np.ndarray) -> float:
+        """Worst observable path of one pair's arrival times."""
+        finite = arrivals[~np.isnan(arrivals)]
+        if not finite.size or float(finite.max()) <= 0.0:
+            raise ValueError("no observable path found during calibration")
+        return float(finite.max())
 
     # -- staircase (Fig. 2) --------------------------------------------------------------
 

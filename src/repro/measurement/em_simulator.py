@@ -26,7 +26,7 @@ detection metric performs is relative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -147,6 +147,16 @@ class EMSimulator:
         self._kernel = probe_impulse_response(
             self.config.oscilloscope.sample_rate_gsps
         )
+        # Memoised per-(key, plaintext) host activity and per-(design,
+        # stimulus) trojan activity, reused by the batch paths.  The
+        # activity model only depends on the stimulus and the design
+        # structure, both immutable once built, so entries never go
+        # stale; the design object is kept in the entry so an id() key
+        # cannot be recycled while cached.
+        self._host_activity_cache: Dict[Tuple[bytes, bytes], List[float]] = {}
+        self._trojan_activity_cache: Dict[
+            Tuple[int, bytes, bytes, int], Tuple[object, List[float]]
+        ] = {}
 
     # -- activity model ---------------------------------------------------------
 
@@ -315,3 +325,159 @@ class EMSimulator:
             self.acquire(dut, plaintext, key, rng, encryption_index=index)
             for index, plaintext in enumerate(plaintexts)
         ]
+
+    # -- batched acquisition -----------------------------------------------------
+
+    def _cached_host_activities(self, aes: AES, plaintext: bytes,
+                                key: bytes) -> List[float]:
+        cache_key = (bytes(key), bytes(plaintext))
+        if cache_key not in self._host_activity_cache:
+            self._host_activity_cache[cache_key] = self.host_cycle_activities(
+                aes, plaintext
+            )
+        return self._host_activity_cache[cache_key]
+
+    def _cached_trojan_activities(self, dut: DeviceUnderTest, aes: AES,
+                                  plaintext: bytes, key: bytes,
+                                  encryption_index: int) -> List[float]:
+        cache_key = (id(dut.design), bytes(key), bytes(plaintext),
+                     encryption_index)
+        entry = self._trojan_activity_cache.get(cache_key)
+        if entry is None or entry[0] is not dut.design:
+            activities = self.trojan_cycle_activities(
+                dut, aes, plaintext, encryption_index
+            )
+            entry = (dut.design, activities)
+            self._trojan_activity_cache[cache_key] = entry
+        return entry[1]
+
+    def batch_noiseless_traces(self, duts: Sequence[DeviceUnderTest],
+                               plaintext: bytes, key: bytes,
+                               encryption_index: int = 0) -> List[EMTrace]:
+        """Deterministic emissions of one encryption for many DUTs at once.
+
+        The expensive stimulus-dependent work (AES round trace, host and
+        trojan switching activity, probe couplings) is evaluated once per
+        *design* appearing in ``duts``; only the per-die EM gains and
+        offsets differ between rows, so the whole population is
+        synthesised in one vectorised NumPy pass.  Every row is
+        arithmetically identical to what :meth:`noiseless_trace` produces
+        for the same DUT.
+        """
+        if not duts:
+            return []
+        config = self.config
+        aes = AES(key)
+        host_activity = self._cached_host_activities(aes, plaintext, key)
+        host_arr = np.asarray(host_activity, dtype=float)
+        num_cycles = len(host_activity)
+        num_rounds = num_cycles - 1
+        samples_per_cycle = config.samples_per_cycle
+        total_samples = config.total_samples(num_rounds)
+        num_duts = len(duts)
+        kernel = self._kernel
+
+        # Per-design coupled activity, evaluated once per unique design.
+        coupled_by_design: Dict[int, Tuple[np.ndarray, float]] = {}
+        coupled = np.empty((num_duts, num_cycles))
+        host_couplings = np.empty(num_duts)
+        for row, dut in enumerate(duts):
+            design_key = id(dut.design)
+            if design_key not in coupled_by_design:
+                trojan_arr = np.asarray(
+                    self._cached_trojan_activities(
+                        dut, aes, plaintext, key, encryption_index
+                    ),
+                    dtype=float,
+                )
+                host_coupling = self.host_probe_coupling(dut)
+                coupled_by_design[design_key] = (
+                    host_coupling * host_arr
+                    + self.trojan_probe_coupling(dut) * trojan_arr,
+                    host_coupling,
+                )
+            coupled[row], host_couplings[row] = coupled_by_design[design_key]
+
+        gains = np.stack(
+            [self.die_cycle_gains(dut, num_cycles) for dut in duts]
+        )
+        base_gains = np.array([dut.em_gain() for dut in duts])
+        offsets = np.array([dut.em_offset() for dut in duts])
+
+        amplitudes = gains * config.activity_to_amplitude * coupled
+        signal = np.zeros((num_duts, total_samples))
+        cycle_offsets: List[int] = []
+        for cycle in range(num_cycles):
+            offset = (config.pre_trigger_cycles + cycle) * samples_per_cycle
+            cycle_offsets.append(offset)
+            end = min(total_samples, offset + kernel.size)
+            signal[:, offset:end] += (amplitudes[:, cycle, None]
+                                      * kernel[None, : end - offset])
+
+        idle_cycles = list(range(config.pre_trigger_cycles)) + [
+            config.pre_trigger_cycles + num_cycles + cycle
+            for cycle in range(config.post_trigger_cycles)
+        ]
+        idle_amplitudes = (base_gains * config.activity_to_amplitude
+                           * host_couplings * config.baseline_activity)
+        for cycle_index in idle_cycles:
+            offset = cycle_index * samples_per_cycle
+            end = min(total_samples, offset + kernel.size)
+            signal[:, offset:end] += (idle_amplitudes[:, None]
+                                      * kernel[None, : end - offset])
+
+        signal = config.amplifier.amplify(signal) + offsets[:, None]
+        sample_period_ns = 1.0 / config.oscilloscope.sample_rate_gsps
+        return [
+            EMTrace(
+                samples=signal[row].copy(),
+                label=dut.label,
+                plaintext=bytes(plaintext),
+                sample_period_ns=sample_period_ns,
+                cycle_sample_offsets=list(cycle_offsets),
+            )
+            for row, dut in enumerate(duts)
+        ]
+
+    def acquire_batch(self, duts: Sequence[DeviceUnderTest], plaintext: bytes,
+                      key: bytes,
+                      rngs: Union[np.random.Generator,
+                                  Sequence[np.random.Generator]],
+                      encryption_index: int = 0,
+                      new_setup_installation: bool = False) -> List[EMTrace]:
+        """Acquire one averaged trace per DUT in a single vectorised pass.
+
+        Parameters
+        ----------
+        rngs:
+            Either one generator per DUT (each die keeps its own noise
+            stream, as the population campaigns do) or a single shared
+            generator consumed in DUT order.  Both conventions reproduce
+            the corresponding serial :meth:`acquire` loop exactly.
+        new_setup_installation:
+            Applied to every acquisition of the batch (the population
+            campaigns re-install the setup for every die).
+        """
+        if isinstance(rngs, np.random.Generator):
+            rng_list: Sequence[np.random.Generator] = [rngs] * len(duts)
+        else:
+            rng_list = list(rngs)
+        if len(rng_list) != len(duts):
+            raise ValueError(
+                f"got {len(rng_list)} generators for {len(duts)} DUTs"
+            )
+        config = self.config
+        traces = self.batch_noiseless_traces(duts, plaintext, key,
+                                             encryption_index)
+        for trace, rng in zip(traces, rng_list):
+            signal = trace.samples
+            if new_setup_installation:
+                gain, offset = config.noise.sample_setup_perturbation(rng)
+                signal = signal * gain + offset
+            trace.samples = config.oscilloscope.acquire(
+                signal,
+                noise_sigma_single_shot=config.noise.sigma_single_shot,
+                rng=rng,
+                quantise=config.quantise,
+            )
+        return traces

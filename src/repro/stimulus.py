@@ -1,0 +1,14 @@
+"""Canonical fixed stimulus of the EM campaigns.
+
+The paper fixes one plaintext (and key) for every EM acquisition but
+does not disclose it; any fixed value plays that role.  These constants
+are the single definition shared by the detection platform, the
+experiment drivers and the campaign engine — they must stay equal across
+those paths for their traces to be interchangeable, so do not duplicate
+them.
+"""
+
+from __future__ import annotations
+
+DEFAULT_PLAINTEXT = bytes(range(16))
+DEFAULT_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")

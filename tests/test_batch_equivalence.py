@@ -1,0 +1,141 @@
+"""Equivalence of the batched acquisition paths with the serial loops.
+
+``EMSimulator.acquire_batch`` and ``PathDelayMeter.measure_batch`` are
+pure performance refactors: for every trojan in the catalog (and the
+golden design) they must reproduce the per-DUT serial results within
+float tolerance — in fact bit-for-bit, which is what most of these
+assertions check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import HTDetectionPlatform, PlatformConfig
+from repro.measurement.delay_meter import DelayMeasurementConfig, generate_pk_pairs
+from repro.trojan.library import available_trojans
+
+NUM_DIES = 3
+PLAINTEXT = bytes(range(16))
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+@pytest.fixture(scope="module")
+def batch_platform(golden_design):
+    return HTDetectionPlatform(
+        config=PlatformConfig(
+            num_dies=NUM_DIES, seed=31,
+            delay=DelayMeasurementConfig(repetitions=3, seed=31),
+        ),
+        golden=golden_design,
+    )
+
+
+def _duts(platform, trojan_name):
+    if trojan_name is None:
+        return [platform.golden_dut(die) for die in range(NUM_DIES)]
+    return [platform.infected_dut(trojan_name, die)
+            for die in range(NUM_DIES)]
+
+
+@pytest.mark.parametrize("trojan_name", [None] + available_trojans())
+def test_noiseless_batch_matches_per_die_loop(batch_platform, trojan_name):
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, trojan_name)
+    serial = [simulator.noiseless_trace(dut, PLAINTEXT, KEY) for dut in duts]
+    batch = simulator.batch_noiseless_traces(duts, PLAINTEXT, KEY)
+    for serial_trace, batch_trace in zip(serial, batch):
+        assert serial_trace.label == batch_trace.label
+        assert serial_trace.cycle_sample_offsets == \
+            batch_trace.cycle_sample_offsets
+        np.testing.assert_allclose(batch_trace.samples, serial_trace.samples,
+                                   rtol=1e-12, atol=1e-9)
+
+
+@pytest.mark.parametrize("trojan_name", [None] + available_trojans())
+def test_acquire_batch_matches_per_die_loop(batch_platform, trojan_name):
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, trojan_name)
+    serial = [
+        simulator.acquire(dut, PLAINTEXT, KEY,
+                          np.random.default_rng(100 + die),
+                          new_setup_installation=True)
+        for die, dut in enumerate(duts)
+    ]
+    batch = simulator.acquire_batch(
+        duts, PLAINTEXT, KEY,
+        [np.random.default_rng(100 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    for serial_trace, batch_trace in zip(serial, batch):
+        assert np.array_equal(serial_trace.samples, batch_trace.samples)
+
+
+def test_acquire_batch_with_shared_generator_matches_serial(batch_platform):
+    """A single shared generator is consumed in DUT order, like a loop."""
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, "HT_comb")
+    rng_serial = np.random.default_rng(7)
+    serial = [simulator.acquire(dut, PLAINTEXT, KEY, rng_serial)
+              for dut in duts]
+    batch = simulator.acquire_batch(duts, PLAINTEXT, KEY,
+                                    np.random.default_rng(7))
+    for serial_trace, batch_trace in zip(serial, batch):
+        assert np.array_equal(serial_trace.samples, batch_trace.samples)
+
+
+def test_acquire_batch_rejects_mismatched_generators(batch_platform):
+    duts = _duts(batch_platform, None)
+    with pytest.raises(ValueError):
+        batch_platform.em_simulator.acquire_batch(
+            duts, PLAINTEXT, KEY, [np.random.default_rng(0)]
+        )
+
+
+def test_population_acquisition_matches_serial_reference(batch_platform):
+    trojans = ("HT1", "HT_seq")
+    golden_serial, infected_serial = (
+        batch_platform.acquire_population_traces_serial(trojans)
+    )
+    golden_batch, infected_batch = (
+        batch_platform.acquire_population_traces(trojans)
+    )
+    for serial_trace, batch_trace in zip(golden_serial, golden_batch):
+        assert np.array_equal(serial_trace.samples, batch_trace.samples)
+    for name in trojans:
+        for serial_trace, batch_trace in zip(infected_serial[name],
+                                             infected_batch[name]):
+            assert np.array_equal(serial_trace.samples, batch_trace.samples)
+
+
+def test_delay_measure_batch_matches_per_dut_loop(batch_platform):
+    meter = batch_platform.delay_meter
+    pairs = generate_pk_pairs(2, seed=11)
+    duts = [batch_platform.golden_dut(0, label="GM"),
+            batch_platform.infected_dut("HT_comb", 0),
+            batch_platform.infected_dut("HT_seq", 0)]
+    glitch = meter.calibrate_glitches(duts[0], pairs)
+    seeds = [41, 42, 43]
+    serial = [meter.measure(dut, pairs, glitch, seed=seed)
+              for dut, seed in zip(duts, seeds)]
+    batch = meter.measure_batch(duts, pairs, glitch, seeds=seeds)
+    for serial_measurement, batch_measurement in zip(serial, batch):
+        assert serial_measurement.label == batch_measurement.label
+        np.testing.assert_allclose(batch_measurement.steps_matrix(),
+                                   serial_measurement.steps_matrix(),
+                                   rtol=0, atol=0)
+
+
+def test_delay_measure_batch_self_calibration_matches(batch_platform):
+    meter = batch_platform.delay_meter
+    pairs = generate_pk_pairs(2, seed=13)
+    duts = [batch_platform.golden_dut(1), batch_platform.infected_dut("HT3", 1)]
+    serial = [meter.measure(dut, pairs, None, seed=5) for dut in duts]
+    batch = meter.measure_batch(duts, pairs, None, seeds=[5, 5])
+    for serial_measurement, batch_measurement in zip(serial, batch):
+        assert np.array_equal(serial_measurement.steps_matrix(),
+                              batch_measurement.steps_matrix())
+        for serial_pair, batch_pair in zip(serial_measurement.pairs,
+                                           batch_measurement.pairs):
+            assert serial_pair.glitch.periods() == batch_pair.glitch.periods()

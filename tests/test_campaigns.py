@@ -1,0 +1,195 @@
+"""Unit tests for the campaign spec and engine."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    AcquisitionVariant,
+    CampaignEngine,
+    CampaignSpec,
+    apply_em_overrides,
+    build_metric,
+    run_campaign,
+)
+from repro.core.metrics import L1TraceMetric, LocalMaximaSumMetric
+from repro.io.results import load_result
+from repro.io.tracefile import load_traces
+from repro.measurement.em_simulator import EMAcquisitionConfig
+
+
+# -- spec ----------------------------------------------------------------------
+
+def test_spec_grid_expansion_order():
+    spec = CampaignSpec(
+        name="grid", trojans=("HT1",), die_counts=(2, 4),
+        variants=(AcquisitionVariant.make("a"), AcquisitionVariant.make("b")),
+        metrics=("local_maxima_sum", "l1"),
+    )
+    cells = spec.grid()
+    assert len(cells) == spec.num_cells() == 8
+    assert [cell.index for cell in cells] == list(range(8))
+    assert cells[0].num_dies == 2 and cells[0].variant.name == "a"
+    assert cells[-1].num_dies == 4 and cells[-1].variant.name == "b"
+    assert cells[0].metric == "local_maxima_sum"
+    assert cells[1].metric == "l1"
+    assert cells[0].acquisition_key == cells[1].acquisition_key
+
+
+def test_spec_round_trips_through_json(tmp_path):
+    spec = CampaignSpec(
+        name="roundtrip", trojans=("HT2", "HT3"), die_counts=(4,),
+        variants=(AcquisitionVariant.make(
+            "quiet", {"noise.sigma_single_shot": 100.0}),),
+        metrics=("l1",), seed=7, workers=2, save_traces=True,
+    )
+    path = spec.save(tmp_path / "spec.json")
+    loaded = CampaignSpec.load(path)
+    assert loaded == spec
+    # the stored document is plain JSON (hand-editable)
+    payload = json.loads(path.read_text())
+    assert payload["trojans"] == ["HT2", "HT3"]
+    assert payload["variants"][0]["em_overrides"] == {
+        "noise.sigma_single_shot": 100.0
+    }
+
+
+@pytest.mark.parametrize("bad_kwargs", [
+    {"trojans": ()},
+    {"trojans": ("HT_unknown",)},
+    {"die_counts": (1,)},
+    {"metrics": ("not_a_metric",)},
+    {"workers": 0},
+    {"plaintext": b"short"},
+])
+def test_spec_rejects_invalid_configurations(bad_kwargs):
+    with pytest.raises(ValueError):
+        CampaignSpec(**bad_kwargs)
+
+
+def test_apply_em_overrides_nested_and_flat():
+    config = apply_em_overrides(
+        EMAcquisitionConfig(),
+        {"clock_frequency_mhz": 48.0,
+         "noise.sigma_single_shot": 123.0,
+         "oscilloscope.num_averages": 10},
+    )
+    assert config.clock_frequency_mhz == 48.0
+    assert config.noise.sigma_single_shot == 123.0
+    assert config.oscilloscope.num_averages == 10
+    # the original default object is untouched
+    assert EMAcquisitionConfig().noise.sigma_single_shot != 123.0
+
+
+def test_apply_em_overrides_rejects_unknown_paths():
+    with pytest.raises(ValueError):
+        apply_em_overrides(EMAcquisitionConfig(), {"no_such_field": 1.0})
+    with pytest.raises(ValueError):
+        apply_em_overrides(EMAcquisitionConfig(), {"noise.no_such": 1.0})
+
+
+def test_build_metric_registry():
+    assert isinstance(build_metric("local_maxima_sum"), LocalMaximaSumMetric)
+    assert isinstance(build_metric("l1"), L1TraceMetric)
+    with pytest.raises(KeyError):
+        build_metric("nope")
+
+
+# -- engine --------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_campaign(golden_design):
+    spec = CampaignSpec(
+        name="unit", trojans=("HT1", "HT3"), die_counts=(3,),
+        variants=(AcquisitionVariant.make("paper"),
+                  AcquisitionVariant.make(
+                      "quiet", {"noise.sigma_single_shot": 200.0})),
+        metrics=("local_maxima_sum", "l1"), seed=55,
+    )
+    engine = CampaignEngine(spec, golden=golden_design)
+    return engine, engine.run()
+
+
+def test_engine_runs_every_cell(small_campaign):
+    engine, result = small_campaign
+    assert len(result.cells) == engine.spec.num_cells() == 4
+    assert [cell.index for cell in result.cells] == [0, 1, 2, 3]
+    for cell in result.cells:
+        assert set(cell.false_negative_rates()) == {"HT1", "HT3"}
+        for row in cell.rows:
+            assert 0.0 <= row.false_negative_rate <= 1.0
+            assert row.detection_probability == pytest.approx(
+                1.0 - row.false_negative_rate
+            )
+
+
+def test_engine_shares_infected_designs_and_acquisitions(small_campaign):
+    engine, _ = small_campaign
+    # one insertion per trojan for the whole grid
+    assert set(engine._infected_cache) == {"HT1", "HT3"}
+    # cells differing only in metric share one acquisition
+    assert len(engine._acquisition_cache) == 2
+    # bigger trojan is easier to catch under every scenario
+    for cell in engine._platform_cache.values():
+        assert cell.golden is engine.golden
+
+
+def test_larger_trojan_detected_more_reliably(small_campaign):
+    _, result = small_campaign
+    for cell in result.cells:
+        rates = cell.false_negative_rates()
+        assert rates["HT3"] <= rates["HT1"] + 1e-9
+
+
+def test_engine_matches_platform_study(small_campaign, golden_design):
+    """Acceptance: the engine cell equals the run_population_em_study path."""
+    from repro.core.pipeline import HTDetectionPlatform, PlatformConfig
+
+    engine, result = small_campaign
+    platform = HTDetectionPlatform(
+        config=PlatformConfig(num_dies=3, seed=55), golden=golden_design
+    )
+    study = platform.run_population_em_study(("HT1", "HT3"))
+    cell = result.cells[0]  # paper variant, local_maxima_sum
+    for name, rate in study.false_negative_rates().items():
+        assert cell.false_negative_rates()[name] == pytest.approx(
+            rate, abs=1e-12
+        )
+
+
+def test_parallel_workers_use_the_engine_golden_design(golden_design):
+    """A custom golden design must reach the pool workers unchanged."""
+    spec = CampaignSpec(name="custom", trojans=("HT1",), die_counts=(3, 4),
+                        metrics=("l1",), seed=4)
+    serial = CampaignEngine(spec, golden=golden_design).run()
+    parallel_spec = CampaignSpec.from_dict({**spec.to_dict(), "workers": 2})
+    parallel = CampaignEngine(parallel_spec, golden=golden_design).run()
+    assert [row.to_dict() for row in serial.rows()] == \
+        [row.to_dict() for row in parallel.rows()]
+
+
+def test_save_traces_without_artifact_dir_fails_loudly(golden_design):
+    spec = CampaignSpec(name="loud", trojans=("HT1",), die_counts=(2,),
+                        save_traces=True)
+    with pytest.raises(ValueError, match="artifact_dir"):
+        CampaignEngine(spec, golden=golden_design).run()
+
+
+def test_run_campaign_persists_summary_and_traces(tmp_path, golden_design):
+    spec = CampaignSpec(name="persist", trojans=("HT1",), die_counts=(2,),
+                        metrics=("l1",), seed=9, save_traces=True)
+    engine = CampaignEngine(spec, golden=golden_design)
+    result = engine.run(artifact_dir=tmp_path)
+    summary = load_result(tmp_path / "persist.json")
+    assert summary["spec"]["name"] == "persist"
+    assert len(summary["cells"]) == 1
+    assert summary["cells"][0]["rows"][0]["trojan"] == "HT1"
+    assert (tmp_path / "persist.csv").exists()
+    archive = summary["cells"][0]["trace_archive"]
+    traces = load_traces(archive)
+    # 2 golden + 2 infected traces
+    assert len(traces) == 4
+    assert all(np.isfinite(trace.samples).all() for trace in traces)

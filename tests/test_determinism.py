@@ -1,0 +1,113 @@
+"""Determinism: same seed => byte-identical traces and campaign results.
+
+The whole reproduction is seeded — two fresh platforms with the same
+``PlatformConfig.seed`` must produce *bit-identical* traces and
+measurements, including through the batched acquisition paths and the
+campaign engine's process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaigns import AcquisitionVariant, CampaignEngine, CampaignSpec
+from repro.core.pipeline import HTDetectionPlatform, PlatformConfig
+from repro.measurement.delay_meter import DelayMeasurementConfig, generate_pk_pairs
+
+TROJANS = ("HT1", "HT3")
+
+
+def _fresh_platform(num_dies: int = 4, seed: int = 77) -> HTDetectionPlatform:
+    return HTDetectionPlatform(
+        config=PlatformConfig(
+            num_dies=num_dies, seed=seed,
+            delay=DelayMeasurementConfig(repetitions=3, seed=seed),
+        )
+    )
+
+
+def test_same_seed_byte_identical_population_traces():
+    golden_a, infected_a = _fresh_platform().acquire_population_traces(TROJANS)
+    golden_b, infected_b = _fresh_platform().acquire_population_traces(TROJANS)
+    for trace_a, trace_b in zip(golden_a, golden_b):
+        assert trace_a.samples.tobytes() == trace_b.samples.tobytes()
+    for name in TROJANS:
+        for trace_a, trace_b in zip(infected_a[name], infected_b[name]):
+            assert trace_a.samples.tobytes() == trace_b.samples.tobytes()
+
+
+def test_same_seed_identical_population_study():
+    study_a = _fresh_platform().run_population_em_study(TROJANS)
+    study_b = _fresh_platform().run_population_em_study(TROJANS)
+    assert study_a.false_negative_rates() == study_b.false_negative_rates()
+    for name in TROJANS:
+        assert study_a.characterisations[name].mu == \
+            study_b.characterisations[name].mu
+        assert study_a.characterisations[name].sigma == \
+            study_b.characterisations[name].sigma
+
+
+def test_same_seed_byte_identical_delay_measurements():
+    pairs = generate_pk_pairs(2, seed=3)
+
+    def run(platform):
+        dut = platform.infected_dut("HT_comb", 1)
+        return platform.delay_meter.measure(dut, pairs, seed=9)
+
+    measurement_a = run(_fresh_platform())
+    measurement_b = run(_fresh_platform())
+    assert measurement_a.steps_matrix().tobytes() == \
+        measurement_b.steps_matrix().tobytes()
+
+
+def test_batch_paths_are_deterministic_too():
+    """The vectorised EM path must inherit the seed determinism."""
+    platform_a = _fresh_platform()
+    platform_b = _fresh_platform()
+    plaintext, key = bytes(range(16)), bytes(16)
+
+    def batch(platform):
+        rngs = [np.random.default_rng(5 + die) for die in range(4)]
+        duts = [platform.infected_dut("HT3", die) for die in range(4)]
+        return platform.em_simulator.acquire_batch(
+            duts, plaintext, key, rngs, new_setup_installation=True
+        )
+
+    for trace_a, trace_b in zip(batch(platform_a), batch(platform_b)):
+        assert trace_a.samples.tobytes() == trace_b.samples.tobytes()
+
+
+@pytest.fixture(scope="module")
+def campaign_spec():
+    return CampaignSpec(
+        name="determinism",
+        trojans=TROJANS,
+        die_counts=(3, 4),
+        variants=(
+            AcquisitionVariant.make("paper"),
+            AcquisitionVariant.make("fast-scope",
+                                    {"oscilloscope.num_averages": 100}),
+        ),
+        metrics=("local_maxima_sum",),
+        seed=123,
+    )
+
+
+def _row_dicts(result):
+    return [row.to_dict() for row in result.rows()]
+
+
+def test_campaign_engine_deterministic(campaign_spec):
+    result_a = CampaignEngine(campaign_spec).run()
+    result_b = CampaignEngine(campaign_spec).run()
+    assert _row_dicts(result_a) == _row_dicts(result_b)
+
+
+def test_campaign_parallel_matches_serial(campaign_spec):
+    serial = CampaignEngine(campaign_spec).run()
+    parallel_spec = CampaignSpec.from_dict(
+        {**campaign_spec.to_dict(), "workers": 2}
+    )
+    parallel = CampaignEngine(parallel_spec).run()
+    assert _row_dicts(serial) == _row_dicts(parallel)
