@@ -13,6 +13,7 @@ from .engine import (
     CampaignEngine,
     CampaignResult,
     CampaignRow,
+    build_delay_scorer,
     build_metric,
     format_campaign_rows,
     run_campaign,
@@ -22,11 +23,17 @@ from .spec import (
     AcquisitionVariant,
     CampaignSpec,
     GridCell,
+    KNOWN_DELAY_METRICS,
+    KNOWN_EM_METRICS,
+    KNOWN_METRICS,
     apply_em_overrides,
 )
 
 __all__ = [
     "AcquisitionVariant",
+    "KNOWN_DELAY_METRICS",
+    "KNOWN_EM_METRICS",
+    "KNOWN_METRICS",
     "CampaignCellResult",
     "CampaignEngine",
     "CampaignResult",
@@ -34,6 +41,7 @@ __all__ = [
     "CampaignSpec",
     "GridCell",
     "apply_em_overrides",
+    "build_delay_scorer",
     "build_metric",
     "format_campaign_rows",
     "run_campaign",

@@ -16,7 +16,13 @@ cell:
   instead of re-acquiring;
 * **optional process pool** — independent grid cells can be spread over
   a ``concurrent.futures`` process pool (``spec.workers > 1``); results
-  are identical to the serial order.
+  are identical to the serial order;
+* **delay-study cells** — grid cells carrying a ``delay_*`` metric run
+  the Sec. III clock-glitch campaign across the die population through
+  the compiled timing kernel: one
+  :meth:`~repro.measurement.delay_meter.PathDelayMeter.measure_batch`
+  call covers every (pair, device) combination, and cells differing
+  only in metric re-score the cached Eq. (4) difference matrices.
 
 The paper's Sec. V study itself lives in
 :func:`repro.core.pipeline.run_population_em_study` (re-exported here);
@@ -32,10 +38,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from ..analysis.gaussian import fit_gaussian, pooled_std
+from ..core.delay_detector import DelayDetector
+from ..core.fingerprint import DelayFingerprint
 from ..core.metrics import (
     L1TraceMetric,
     LocalMaximaSumMetric,
     MaxDifferenceMetric,
+    false_negative_rate,
 )
 from ..core.pipeline import (
     HTDetectionPlatform,
@@ -47,6 +59,10 @@ from ..fpga.design import GoldenDesign
 from ..fpga.device import FPGADevice, virtex5_lx30
 from ..io.results import save_result, save_summary_csv
 from ..io.tracefile import save_traces
+from ..measurement.delay_meter import (
+    DelayMeasurementConfig,
+    generate_pk_pairs,
+)
 from ..measurement.em_simulator import EMTrace
 from ..trojan.insertion import InfectedDesign
 from .spec import CampaignSpec, GridCell
@@ -61,8 +77,22 @@ METRIC_FACTORIES = {
 }
 
 
+#: Delay-metric registry: spec metric name -> scorer over the Eq. (4)
+#: per-(pair, bit) difference matrix of one device campaign.
+DELAY_METRIC_SCORERS = {
+    # Worst per-bit shift anywhere (the paper's device-level score: one
+    # disturbed net is enough).
+    "delay_max_difference":
+        lambda differences: float(differences.max()),
+    # Mean over pairs of the per-pair worst shift (rewards trojans whose
+    # influence shows on many stimuli, damps single-pair outliers).
+    "delay_mean_pair_max":
+        lambda differences: float(differences.max(axis=1).mean()),
+}
+
+
 def build_metric(name: str):
-    """Instantiate a detection metric from its campaign-spec name."""
+    """Instantiate an EM detection metric from its campaign-spec name."""
     try:
         return METRIC_FACTORIES[name]()
     except KeyError as exc:
@@ -70,6 +100,31 @@ def build_metric(name: str):
             f"unknown metric {name!r}; available: "
             + ", ".join(METRIC_FACTORIES)
         ) from exc
+
+
+def build_delay_scorer(name: str):
+    """Resolve a delay-metric scorer from its campaign-spec name."""
+    try:
+        return DELAY_METRIC_SCORERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown delay metric {name!r}; available: "
+            + ", ".join(DELAY_METRIC_SCORERS)
+        ) from exc
+
+
+@dataclass
+class _DelayStudyData:
+    """Cached Eq. (4) difference matrices of one delay campaign.
+
+    One entry per (device, die): ``golden_differences[die]`` is the
+    clean control on die ``die``; ``infected_differences[trojan][die]``
+    the infected device on that die.  All metrics of a grid re-score
+    these matrices instead of re-measuring.
+    """
+
+    golden_differences: List["np.ndarray"]
+    infected_differences: Dict[str, List["np.ndarray"]]
 
 
 @dataclass
@@ -191,6 +246,10 @@ class CampaignEngine:
         self._acquisition_cache: Dict[
             Tuple[int, str], Tuple[List[EMTrace], Dict[str, List[EMTrace]]]
         ] = {}
+        #: Delay campaign measurements keyed by die count (the delay
+        #: bench is not affected by the EM acquisition variant, so cells
+        #: that differ only in variant or metric share one measurement).
+        self._delay_cache: Dict[int, "_DelayStudyData"] = {}
         self._artifact_dir: Optional[Path] = None
         self._saved_archives: Dict[Tuple[int, str], str] = {}
 
@@ -208,6 +267,10 @@ class CampaignEngine:
             config = PlatformConfig(
                 num_dies=cell.num_dies,
                 seed=self.spec.seed,
+                delay=DelayMeasurementConfig(
+                    repetitions=self.spec.delay_repetitions,
+                    seed=self.spec.seed,
+                ),
                 em=cell.variant.build_em_config(),
             )
             self._platform_cache[cache_key] = HTDetectionPlatform(
@@ -234,10 +297,133 @@ class CampaignEngine:
             )
         return self._acquisition_cache[cache_key]
 
+    def delay_study_data(self, cell: GridCell) -> "_DelayStudyData":
+        """Measure (or reuse) the delay campaigns of one grid cell.
+
+        One batched clock-glitch campaign per die count: the golden
+        fingerprint is measured on die 0, then every (clean die,
+        infected die x trojan) device is measured in a single
+        :meth:`~repro.measurement.delay_meter.PathDelayMeter.measure_batch`
+        call — the compiled timing kernel sweeps the whole
+        (pairs x devices) grid in a few array passes.  Cells that differ
+        only in the metric (or the EM variant) re-score the cached
+        Eq. (4) difference matrices.
+        """
+        num_dies = cell.num_dies
+        if num_dies not in self._delay_cache:
+            spec = self.spec
+            platform = self.platform_for(cell)
+            meter = platform.delay_meter
+            pairs = generate_pk_pairs(spec.num_pk_pairs, seed=spec.seed + 7)
+
+            golden_dut = platform.golden_dut(0, label="GM")
+            fingerprint_measurement = meter.measure_batch(
+                [golden_dut], pairs, None, seeds=[spec.seed]
+            )[0]
+            # Per-pair sweeps calibrated on the golden model, reused for
+            # every device so step counts stay comparable (Sec. III-B).
+            glitch = {
+                pair.index: pair_measurement.glitch
+                for pair, pair_measurement in zip(
+                    pairs, fingerprint_measurement.pairs)
+            }
+            detector = DelayDetector(
+                DelayFingerprint.from_measurement(fingerprint_measurement)
+            )
+
+            duts = []
+            for die_index in range(num_dies):
+                duts.append(platform.golden_dut(die_index,
+                                                label=f"Clean_die{die_index}"))
+            for name in spec.trojans:
+                for die_index in range(num_dies):
+                    duts.append(platform.infected_dut(name, die_index))
+            # One seed per device position: injective for any population
+            # size, so no two devices ever share a noise stream.
+            seeds = [spec.seed + 100 + position
+                     for position in range(len(duts))]
+            measurements = meter.measure_batch(duts, pairs, glitch,
+                                               seeds=seeds)
+
+            golden_differences = [
+                detector.difference_ps(measurement)
+                for measurement in measurements[:num_dies]
+            ]
+            infected_differences: Dict[str, List[np.ndarray]] = {}
+            for trojan_index, name in enumerate(spec.trojans):
+                begin = num_dies * (1 + trojan_index)
+                infected_differences[name] = [
+                    detector.difference_ps(measurement)
+                    for measurement in measurements[begin:begin + num_dies]
+                ]
+            self._delay_cache[num_dies] = _DelayStudyData(
+                golden_differences=golden_differences,
+                infected_differences=infected_differences,
+            )
+        return self._delay_cache[num_dies]
+
     # -- execution ----------------------------------------------------------------
 
     def run_cell(self, cell: GridCell) -> CampaignCellResult:
-        """Execute one grid cell: acquire (or reuse) traces, score, decide."""
+        """Execute one grid cell (EM acquisition or delay study)."""
+        if cell.is_delay:
+            return self._run_delay_cell(cell)
+        return self._run_em_cell(cell)
+
+    def _run_delay_cell(self, cell: GridCell) -> CampaignCellResult:
+        """Score one delay-study cell from the cached difference matrices.
+
+        Mirrors the EM cells' Gaussian characterisation: the genuine
+        population is the per-die score of clean devices against the
+        golden fingerprint, the infected population the per-die scores
+        of one trojan, and the Eq. (5) overlap gives the
+        false-negative rate.
+        """
+        start = time.perf_counter()
+        platform = self.platform_for(cell)
+        data = self.delay_study_data(cell)
+        scorer = build_delay_scorer(cell.metric)
+        genuine_scores = np.array([scorer(differences)
+                                   for differences in data.golden_differences])
+        genuine_fit = fit_gaussian(genuine_scores)
+        rows = []
+        for name in self.spec.trojans:
+            infected_scores = np.array(
+                [scorer(differences)
+                 for differences in data.infected_differences[name]]
+            )
+            infected_fit = fit_gaussian(infected_scores)
+            mu = float(infected_fit.mean - genuine_fit.mean)
+            # Both populations have one score per die and the spec
+            # enforces >= 2 dies, so the pooled estimate always applies.
+            sigma = float(pooled_std(genuine_scores, infected_scores))
+            fn_rate = false_negative_rate(mu, sigma)
+            rows.append(CampaignRow(
+                cell_index=cell.index,
+                num_dies=cell.num_dies,
+                variant=cell.variant.name,
+                metric=cell.metric,
+                trojan=name,
+                area_fraction=platform.infected_design(name)
+                .area_fraction_of_aes(),
+                mu=mu,
+                sigma=sigma,
+                false_negative_rate=fn_rate,
+                detection_probability=1.0 - fn_rate,
+            ))
+        return CampaignCellResult(
+            index=cell.index,
+            num_dies=cell.num_dies,
+            variant=cell.variant.name,
+            metric=cell.metric,
+            rows=rows,
+            golden_score_mean=float(genuine_fit.mean),
+            golden_score_std=float(genuine_fit.std),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _run_em_cell(self, cell: GridCell) -> CampaignCellResult:
+        """Execute one EM grid cell: acquire (or reuse) traces, score, decide."""
         start = time.perf_counter()
         platform = self.platform_for(cell)
         golden_traces, infected_traces = self.acquire_cell_traces(cell)
@@ -290,8 +476,11 @@ class CampaignEngine:
         if self._artifact_dir is None or not self.spec.save_traces:
             return None
         cache_key = cell.acquisition_key
+        # Delay cells acquire no EM traces, so ownership is decided
+        # among the EM cells of the acquisition key only.
         owner = min(other.index for other in self.spec.grid()
-                    if other.acquisition_key == cache_key)
+                    if other.acquisition_key == cache_key
+                    and not other.is_delay)
         archive = (self._artifact_dir
                    / f"traces_d{cell.num_dies}_{cell.variant.name}.npz")
         if cell.index == owner and cache_key not in self._saved_archives:

@@ -9,9 +9,12 @@ A *campaign* is a grid of detection scenarios swept in one go:
 through JSON so campaigns can be stored next to their results);
 :func:`CampaignSpec.grid` expands it into :class:`GridCell` work items
 the :class:`~repro.campaigns.engine.CampaignEngine` executes.  One cell
-is one full Sec. V population study — all trojans of the spec measured
-over one die population under one acquisition configuration, scored with
-one metric.
+is one full population study — all trojans of the spec measured over one
+die population under one acquisition configuration, scored with one
+metric.  EM metrics run the Sec. V inter-die trace study; ``delay_*``
+metrics run the Sec. III clock-glitch delay study across the same die
+population through the compiled timing kernel (``num_pk_pairs`` (P, K)
+stimuli, ``delay_repetitions`` repetitions).
 
 Acquisition variants are expressed as dotted-path overrides applied on
 top of the default :class:`~repro.measurement.em_simulator.EMAcquisitionConfig`,
@@ -35,9 +38,16 @@ from ..trojan.library import TROJAN_SPECS
 
 PathLike = Union[str, Path]
 
-#: Metric names accepted by ``CampaignSpec.metrics`` (resolved by the
-#: engine's metric registry).
-KNOWN_METRICS = ("local_maxima_sum", "l1", "max_difference")
+#: EM trace metrics (resolved by the engine's metric registry).
+KNOWN_EM_METRICS = ("local_maxima_sum", "l1", "max_difference")
+
+#: Delay-study metrics: a grid cell carrying one of these runs the
+#: Sec. III clock-glitch campaign (through the compiled timing kernel)
+#: across the die population instead of an EM acquisition.
+KNOWN_DELAY_METRICS = ("delay_max_difference", "delay_mean_pair_max")
+
+#: All metric names accepted by ``CampaignSpec.metrics``.
+KNOWN_METRICS = KNOWN_EM_METRICS + KNOWN_DELAY_METRICS
 
 
 
@@ -131,6 +141,11 @@ class GridCell:
         """Cells sharing this key reuse the same acquired traces."""
         return (self.num_dies, self.variant.name)
 
+    @property
+    def is_delay(self) -> bool:
+        """True if this cell runs the delay study rather than an EM one."""
+        return self.metric in KNOWN_DELAY_METRICS
+
     def describe(self) -> str:
         return (f"cell {self.index}: {self.num_dies} dies, "
                 f"variant {self.variant.name!r}, metric {self.metric!r}")
@@ -150,6 +165,9 @@ class CampaignSpec:
     key: bytes = DEFAULT_KEY
     workers: int = 1
     save_traces: bool = False
+    #: Delay-study campaign sizes (used by ``delay_*`` metric cells).
+    num_pk_pairs: int = 4
+    delay_repetitions: int = 3
 
     def __post_init__(self) -> None:
         self.trojans = tuple(self.trojans)
@@ -186,15 +204,28 @@ class CampaignSpec:
             raise ValueError("key must be 16, 24 or 32 bytes")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.num_pk_pairs < 1:
+            raise ValueError("num_pk_pairs must be >= 1")
+        if self.delay_repetitions < 1:
+            raise ValueError("delay_repetitions must be >= 1")
 
     # -- grid expansion ----------------------------------------------------------
 
     def grid(self) -> List[GridCell]:
-        """Expand the spec into its ordered list of grid cells."""
+        """Expand the spec into its ordered list of grid cells.
+
+        Delay metrics are emitted once per die count (under the first
+        variant): the clock-glitch bench is not configured by the EM
+        acquisition overrides, so crossing delay cells with every
+        variant would only duplicate identical rows and, with a process
+        pool, re-run identical measurements.
+        """
         cells: List[GridCell] = []
         for num_dies in self.die_counts:
-            for variant in self.variants:
+            for variant_index, variant in enumerate(self.variants):
                 for metric in self.metrics:
+                    if variant_index and metric in KNOWN_DELAY_METRICS:
+                        continue
                     cells.append(GridCell(
                         index=len(cells),
                         num_dies=num_dies,
@@ -204,7 +235,7 @@ class CampaignSpec:
         return cells
 
     def num_cells(self) -> int:
-        return len(self.die_counts) * len(self.variants) * len(self.metrics)
+        return len(self.grid())
 
     # -- (de)serialisation -------------------------------------------------------
 
@@ -224,6 +255,8 @@ class CampaignSpec:
             "key": self.key.hex(),
             "workers": self.workers,
             "save_traces": self.save_traces,
+            "num_pk_pairs": self.num_pk_pairs,
+            "delay_repetitions": self.delay_repetitions,
         }
 
     @classmethod

@@ -10,8 +10,9 @@ Sub-commands:
   paper-vs-measured summary,
 * ``campaign``   — batched scenario sweeps: ``campaign run`` executes a
   (trojans x dies x acquisition variants x metrics) grid through the
-  :mod:`repro.campaigns` engine, ``campaign report`` pretty-prints a
-  stored summary.
+  :mod:`repro.campaigns` engine (EM metrics acquire traces; ``delay_*``
+  metrics run the clock-glitch delay study on the compiled timing
+  kernel), ``campaign report`` pretty-prints a stored summary.
 
 Every study command accepts ``--quick`` (reduced campaign, same code
 paths) and ``--seed``.
@@ -24,6 +25,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from .campaigns.spec import KNOWN_METRICS
 from .core.report import (
     delay_study_report,
     format_table,
@@ -119,6 +121,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         spec.seed = args.seed
     if args.workers is not None:
         spec.workers = args.workers
+    if args.pk_pairs is not None:
+        spec.num_pk_pairs = args.pk_pairs
+    if args.delay_repetitions is not None:
+        spec.delay_repetitions = args.delay_repetitions
     if args.save_traces:
         spec.save_traces = True
     if spec.save_traces and args.out is None:
@@ -203,10 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--dies", action="append", type=int, default=None,
                        help="die-population size (repeatable; default 8)")
     p_run.add_argument("--metric", action="append", default=None,
-                       choices=["local_maxima_sum", "l1", "max_difference"],
-                       help="detection metric (repeatable)")
+                       choices=list(KNOWN_METRICS),
+                       help="detection metric (repeatable); delay_* metrics "
+                            "run the clock-glitch delay study instead of an "
+                            "EM acquisition")
     p_run.add_argument("--seed", type=int, default=None,
                        help="override the campaign seed")
+    p_run.add_argument("--pk-pairs", type=int, default=None, dest="pk_pairs",
+                       help="(P, K) stimuli per delay-study cell")
+    p_run.add_argument("--delay-repetitions", type=int, default=None,
+                       dest="delay_repetitions",
+                       help="glitch-sweep repetitions per delay measurement")
     p_run.add_argument("--workers", type=int, default=None,
                        help="process-pool size for independent grid cells")
     p_run.add_argument("--out", default=None,

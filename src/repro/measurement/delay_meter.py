@@ -354,42 +354,89 @@ class PathDelayMeter:
             measurement.pairs.append(self.measure_pair(dut, pair, pair_glitch, rng))
         return measurement
 
+    def batch_arrival_times(self, duts: Sequence[DeviceUnderTest],
+                            pairs: Sequence[PlaintextKeyPair]) -> np.ndarray:
+        """Noiseless arrival times for every (DUT, pair) in array passes.
+
+        The host circuit is lowered once
+        (:meth:`~repro.netlist.netlist.Netlist.compiled`) and a
+        :class:`~repro.netlist.compiled.CompiledTimingEngine` sweeps all
+        pairs and all dies of each circuit group together — per-die
+        delay vectors broadcast over the pair axis, so the whole
+        (pairs x dies) grid costs one levelised sweep.  Every entry is
+        bit-identical to :meth:`arrival_times_ps` for that (DUT, pair).
+
+        Returns shape ``(num_duts, num_pairs, 128)`` (NaN = stable bit).
+        """
+        from ..netlist.compiled import CompiledTimingEngine
+
+        arrivals = np.full((len(duts), len(pairs), BLOCK_BITS), np.nan)
+        groups: Dict[int, List[int]] = {}
+        for dut_index, dut in enumerate(duts):
+            groups.setdefault(id(dut.circuit), []).append(dut_index)
+        for dut_indices in groups.values():
+            circuit = duts[dut_indices[0]].circuit
+            netlist = circuit.netlist
+            input_nets = list(netlist.inputs)
+            before_rows = np.empty((len(pairs), len(input_nets)),
+                                   dtype=np.uint8)
+            after_rows = np.empty_like(before_rows)
+            for row, pair in enumerate(pairs):
+                before, after = self.pair_transitions(duts[dut_indices[0]],
+                                                      pair)
+                before_rows[row] = [before[net] for net in input_nets]
+                after_rows[row] = [after[net] for net in input_nets]
+            engine = CompiledTimingEngine(
+                netlist.compiled(),
+                [duts[dut_index].delay_annotation()
+                 for dut_index in dut_indices],
+                input_arrival_ps=0.0,
+            )
+            # Chunk the pair axis so the (pairs x dies x nets) float64
+            # arrival array stays bounded (~256 MB) however many
+            # stimuli the campaign sweeps; chunking does not change any
+            # value — pairs are independent.
+            max_elements = 32_000_000
+            per_pair = len(dut_indices) * (netlist.compiled().num_nets + 1)
+            chunk = max(1, max_elements // per_pair)
+            for begin in range(0, len(pairs), chunk):
+                stop = begin + chunk
+                _, _, net_arrivals = engine.two_vector_arrivals(
+                    before_rows[begin:stop], after_rows[begin:stop],
+                    input_nets,
+                )
+                endpoint = engine.endpoint_arrivals(net_arrivals,
+                                                    circuit.output_d_nets())
+                arrivals[dut_indices, begin:stop] = endpoint.transpose(1, 0, 2)
+        return arrivals
+
     def measure_batch(self, duts: Sequence[DeviceUnderTest],
                       pairs: Sequence[PlaintextKeyPair],
                       glitch=None,
                       seeds: Optional[Sequence[int]] = None
                       ) -> List[DelayMeasurement]:
-        """Run the campaign on many DUTs, sharing the per-pair stimulus.
+        """Run the campaign on many DUTs through the compiled kernel.
 
-        The AES round trace and the attacked-round input vectors of every
-        (P, K) pair depend only on the host circuit, so they are computed
-        once and reused for each device; each DUT also reuses a single
-        timing engine across pairs.  ``seeds[i]`` seeds DUT ``i``'s noise
-        stream; the result is identical to calling :meth:`measure` per
-        DUT with the same seed.
+        The attacked-round input vectors of every (P, K) pair depend
+        only on the host circuit, so they are computed once and shared;
+        the per-bit arrival times of the whole (DUT x pair) grid come
+        from one :meth:`batch_arrival_times` sweep instead of a per-cell
+        Python walk per (DUT, pair).  ``seeds[i]`` seeds DUT ``i``'s
+        noise stream; the result is bit-identical to calling the
+        interpreted :meth:`measure` per DUT with the same seed (that
+        serial walk remains the reference this path is tested against).
         """
         if not pairs:
             raise ValueError("the campaign needs at least one (P, K) pair")
         if seeds is not None and len(seeds) != len(duts):
             raise ValueError(f"got {len(seeds)} seeds for {len(duts)} DUTs")
-        transition_cache: Dict[tuple, tuple] = {}
-
-        def transitions_for(dut: DeviceUnderTest,
-                            pair: PlaintextKeyPair) -> tuple:
-            cache_key = (id(dut.circuit), pair.index)
-            if cache_key not in transition_cache:
-                transition_cache[cache_key] = self.pair_transitions(dut, pair)
-            return transition_cache[cache_key]
+        arrival_grid = self.batch_arrival_times(duts, pairs)
 
         measurements: List[DelayMeasurement] = []
         for dut_index, dut in enumerate(duts):
-            engine = self._timing_engine(dut)
             arrivals = {
-                pair.index: self.arrival_times_ps(
-                    dut, pair, engine=engine,
-                    transitions=transitions_for(dut, pair),
-                )
-                for pair in pairs
+                pair.index: arrival_grid[dut_index, pair_pos]
+                for pair_pos, pair in enumerate(pairs)
             }
             dut_glitch = glitch
             if dut_glitch is None:

@@ -9,9 +9,11 @@ trace of one AES encryption as follows:
    of the host (plus a factor for the combinational logic and the key
    schedule it drags along);
 2. if the design is infected, the trojan's dormant activity (trigger
-   tree and counter toggles, input-pin charging) is evaluated per cycle
-   from its structural netlist and added with its own probe coupling —
-   this is the paper's "activity offset on a net used by the HT";
+   tree and counter toggles, input-pin charging) is evaluated from its
+   structural netlist — all cycles of an encryption in one pass of the
+   compiled kernel (:mod:`repro.netlist.compiled`) — and added with its
+   own probe coupling; this is the paper's "activity offset on a net
+   used by the HT";
 3. every cycle contributes a damped-oscillation pulse (probe and
    amplifier impulse response) scaled by its activity and by the die's
    EM gain (inter-die process variation);
@@ -180,9 +182,10 @@ class EMSimulator:
         """Per-cycle dormant activity of the inserted trojan (zeros if clean).
 
         Two components: the data-dependent toggles of the trigger logic
-        (evaluated on the trojan's structural netlist), and the
-        size-proportional clock/configuration load of every trojan cell,
-        which is present on every cycle.
+        (evaluated on the trojan's structural netlist — one compiled
+        batch per encryption rather than one interpreted walk per
+        cycle), and the size-proportional clock/configuration load of
+        every trojan cell, which is present on every cycle.
         """
         config = self.config
         trace = aes.encrypt_trace(plaintext)

@@ -23,6 +23,7 @@ from .cells import (
     make_mux2,
     make_xor,
 )
+from .compiled import CompiledNetlist, CompiledTimingEngine
 from .netlist import Netlist, NetlistError
 from .sbox_circuit import build_sbox_netlist, evaluate_sbox_netlist
 from .synth import (
@@ -52,6 +53,8 @@ __all__ = [
     "make_lut",
     "make_mux2",
     "make_xor",
+    "CompiledNetlist",
+    "CompiledTimingEngine",
     "Netlist",
     "NetlistError",
     "build_sbox_netlist",

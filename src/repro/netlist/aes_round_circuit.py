@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from ..crypto.aes import SHIFT_ROWS_PERM
 from ..crypto.sbox import SBOX
 from ..crypto.state import BLOCK_BITS, BLOCK_BYTES, validate_block
@@ -172,9 +174,50 @@ class AESLastRoundCircuit:
         return values
 
     def evaluate(self, state_in: Sequence[int], round_key: Sequence[int]) -> bytes:
-        """Compute the round output (ciphertext) for ``state_in`` and ``round_key``."""
+        """Compute the round output (ciphertext) for ``state_in`` and ``round_key``.
+
+        Runs on the compiled kernel; :meth:`evaluate_interpreted` is the
+        cell-by-cell reference it is tested against.
+        """
+        return self.evaluate_batch([state_in], [round_key])[0]
+
+    def evaluate_interpreted(self, state_in: Sequence[int],
+                             round_key: Sequence[int]) -> bytes:
+        """Reference evaluation through the interpreted netlist walk."""
         values = self.netlist.evaluate(self.input_values(state_in, round_key))
         return net_values_to_block(values, ciphertext_d_net)
+
+    def evaluate_batch(self, states_in: Sequence[Sequence[int]],
+                       round_keys: Sequence[Sequence[int]]) -> List[bytes]:
+        """Round outputs for many (state, key) stimuli in one array pass.
+
+        Conformance checks (and any caller sweeping stimuli) get the
+        whole batch from a single levelised sweep of the compiled
+        netlist; each result is bit-identical to :meth:`evaluate_interpreted`.
+        """
+        if len(states_in) != len(round_keys):
+            raise ValueError(
+                f"got {len(states_in)} states for {len(round_keys)} round keys"
+            )
+        state_bytes = np.array([list(validate_block(s)) for s in states_in],
+                               dtype=np.uint8)
+        key_bytes = np.array([list(validate_block(k)) for k in round_keys],
+                             dtype=np.uint8)
+        # Primary-input order is st_b{byte}_{bit} then key_b{byte}_{bit}
+        # with bit 0 = LSB, which is exactly little-endian unpacking.
+        rows = np.concatenate(
+            [np.unpackbits(state_bytes, axis=1, bitorder="little"),
+             np.unpackbits(key_bytes, axis=1, bitorder="little")],
+            axis=1,
+        )
+        compiled = self.netlist.compiled()
+        values = compiled.evaluate_batch(rows)
+        d_columns = compiled.columns_for(
+            [ciphertext_d_net(byte, bit)
+             for byte in range(BLOCK_BYTES) for bit in range(8)]
+        )
+        packed = np.packbits(values[:, d_columns], axis=1, bitorder="little")
+        return [bytes(row) for row in packed]
 
     # -- structural accessors ------------------------------------------------
 

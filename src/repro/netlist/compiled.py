@@ -1,0 +1,573 @@
+"""Compiled netlist kernel: vectorised evaluation and array-based timing.
+
+The interpreted :meth:`~repro.netlist.netlist.Netlist.evaluate` walks a
+dict of per-net ints one cell at a time — perfect as an executable
+specification, far too slow for campaigns that sweep thousands of
+(stimulus, die) combinations.  This module lowers a validated netlist
+**once** into flat NumPy arrays and then evaluates *all stimulus vectors
+at once*:
+
+* every combinational cell is normalised to a truth-table LUT (MUX2,
+  XOR2... become small tables), stored in one flat ``uint8`` array with
+  per-cell offsets;
+* cells are grouped into **topological levels**; one level is evaluated
+  with a handful of vectorised gathers (address = packed input bits,
+  output = ``tables[offset + address]``) over a ``(num_vectors,
+  num_nets)`` value matrix — the Python interpreter runs O(levels x
+  max_arity) operations instead of O(cells x vectors);
+* :class:`CompiledTimingEngine` runs the same levelised sweep over
+  ``float64`` *arrival* arrays, broadcasting per-die cell/net delay
+  vectors so a single pass covers every (stimulus pair, die)
+  combination of a delay campaign.
+
+Both kernels are **bit-identical** to the interpreted walks in
+:mod:`repro.netlist.netlist` and :mod:`repro.netlist.timing` (the same
+float operations are applied in an order whose result is unchanged);
+the interpreted implementations remain the serial reference the
+equivalence tests and benchmarks compare against — the same contract
+``EMSimulator.acquire_batch`` established for trace acquisition.
+
+Compiled netlists are cached on the netlist itself
+(:meth:`~repro.netlist.netlist.Netlist.compiled`); structural edits
+invalidate the cache together with the topological order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .cells import Cell, CellType
+from .netlist import Netlist, NetlistError
+from .timing import DelayAnnotation, TwoVectorResult
+
+#: Truth table of the MUX2 primitive in LUT form.  Input order is the
+#: cell's ``(select, in0, in1)``, with input 0 as address bit 0:
+#: ``out = in1 if select else in0``.
+_MUX2_TABLE = (0, 0, 1, 0, 0, 1, 1, 1)
+
+#: LUT forms of the fixed-function primitives (input 0 = address bit 0).
+_PRIMITIVE_TABLES: Dict[CellType, Tuple[int, ...]] = {
+    CellType.MUX2: _MUX2_TABLE,
+    CellType.XOR2: (0, 1, 1, 0),
+    CellType.AND2: (0, 0, 0, 1),
+    CellType.OR2: (0, 1, 1, 1),
+    CellType.INV: (1, 0),
+    CellType.BUF: (0, 1),
+}
+
+
+def _cell_table(cell: Cell) -> Tuple[int, ...]:
+    """The truth table realising ``cell`` (LUT normal form)."""
+    if cell.cell_type == CellType.LUT:
+        assert cell.truth_table is not None
+        return cell.truth_table
+    try:
+        return _PRIMITIVE_TABLES[cell.cell_type]
+    except KeyError as exc:  # pragma: no cover - guarded by caller
+        raise NetlistError(
+            f"cell {cell.name!r} of type {cell.cell_type} has no LUT form"
+        ) from exc
+
+
+@dataclass
+class CompiledNetlist:
+    """A netlist lowered to flat arrays for batched evaluation.
+
+    The value matrix convention: one row per stimulus vector, one column
+    per net (column order is :attr:`net_names`), plus one trailing
+    always-zero padding column used to make every cell's input list the
+    same width.  All public methods hide the padding column.
+    """
+
+    netlist: Netlist
+    #: Net name -> column index (excludes the padding column).
+    net_index: Dict[str, int]
+    #: Column order of the value matrices.
+    net_names: List[str]
+    #: Columns of the declared primary inputs, in declaration order.
+    input_columns: np.ndarray
+    #: Combinational cells in levelised topological order.
+    comb_cell_names: List[str]
+    #: Per-cell input arity, shape ``(num_comb,)``.
+    arity: np.ndarray
+    #: Per-cell input columns padded to ``max_arity`` with the zero column.
+    input_idx: np.ndarray
+    #: Per-cell output column, shape ``(num_comb,)``.
+    output_idx: np.ndarray
+    #: Per-cell offset into :attr:`tables`.
+    table_offset: np.ndarray
+    #: Concatenated truth tables of every combinational cell.
+    tables: np.ndarray
+    #: ``(start, end)`` ranges into the cell arrays, one per topo level.
+    level_slices: List[Tuple[int, int]]
+    #: Columns of CONST1 outputs (CONST0 columns stay zero).
+    const_one_columns: np.ndarray
+    #: DFF output columns and their power-up values.
+    dff_columns: np.ndarray
+    dff_init: np.ndarray
+    #: DFF output net name -> column (register-value overrides).
+    dff_index: Dict[str, int]
+    #: Output column of *every* cell (cells-dict order) and the flattened
+    #: input-pin columns of every cell — the two gather tables the
+    #: toggle-count (switching-activity) kernel sums over.
+    all_output_columns: np.ndarray
+    all_pin_columns: np.ndarray
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "CompiledNetlist":
+        """Lower ``netlist`` (validating it) into flat arrays."""
+        netlist.validate()
+        topo = netlist.topological_order()
+
+        net_names: List[str] = []
+        net_index: Dict[str, int] = {}
+
+        def column(net: str) -> int:
+            if net not in net_index:
+                net_index[net] = len(net_names)
+                net_names.append(net)
+            return net_index[net]
+
+        for net in netlist.inputs:
+            column(net)
+        for cell in netlist.cells.values():
+            column(cell.output)
+            for net in cell.inputs:
+                column(net)
+
+        num_nets = len(net_names)
+        zero_column = num_nets  # trailing padding column, always 0
+
+        # Levelise: level(cell) = 1 + max(level of combinational drivers).
+        drivers = {cell.output: cell for cell in netlist.cells.values()}
+        level_of: Dict[str, int] = {}
+        for cell in topo:
+            level = 0
+            for net in cell.inputs:
+                driver = drivers.get(net)
+                if driver is not None and driver.is_combinational:
+                    level = max(level, level_of[driver.name] + 1)
+            level_of[cell.name] = level
+        ordered = sorted(topo, key=lambda c: (level_of[c.name],))
+
+        num_comb = len(ordered)
+        max_arity = max((len(c.inputs) for c in ordered), default=1)
+        arity = np.zeros(num_comb, dtype=np.int32)
+        input_idx = np.full((num_comb, max_arity), zero_column, dtype=np.int32)
+        output_idx = np.zeros(num_comb, dtype=np.int32)
+        table_offset = np.zeros(num_comb, dtype=np.int32)
+        table_chunks: List[np.ndarray] = []
+        offset = 0
+        level_slices: List[Tuple[int, int]] = []
+        level_start = 0
+        for position, cell in enumerate(ordered):
+            if position and level_of[cell.name] != level_of[ordered[position - 1].name]:
+                level_slices.append((level_start, position))
+                level_start = position
+            arity[position] = len(cell.inputs)
+            for pin, net in enumerate(cell.inputs):
+                input_idx[position, pin] = net_index[net]
+            output_idx[position] = net_index[cell.output]
+            table = np.asarray(_cell_table(cell), dtype=np.uint8)
+            table_offset[position] = offset
+            table_chunks.append(table)
+            offset += table.size
+        if num_comb:
+            level_slices.append((level_start, num_comb))
+        tables = (np.concatenate(table_chunks) if table_chunks
+                  else np.zeros(0, dtype=np.uint8))
+
+        const_one = [net_index[c.output] for c in netlist.cells.values()
+                     if c.cell_type == CellType.CONST1]
+        dff_cells = [c for c in netlist.cells.values() if c.is_sequential]
+        dff_columns = np.array([net_index[c.output] for c in dff_cells],
+                               dtype=np.int32)
+        dff_init = np.array([c.init & 1 for c in dff_cells], dtype=np.uint8)
+        dff_index = {c.output: net_index[c.output] for c in dff_cells}
+
+        all_outputs = np.array(
+            [net_index[c.output] for c in netlist.cells.values()],
+            dtype=np.int32,
+        )
+        all_pins = np.array(
+            [net_index[net] for c in netlist.cells.values() for net in c.inputs],
+            dtype=np.int32,
+        )
+
+        return cls(
+            netlist=netlist,
+            net_index=net_index,
+            net_names=net_names,
+            input_columns=np.array([net_index[n] for n in netlist.inputs],
+                                   dtype=np.int32),
+            comb_cell_names=[c.name for c in ordered],
+            arity=arity,
+            input_idx=input_idx,
+            output_idx=output_idx,
+            table_offset=table_offset,
+            tables=tables,
+            level_slices=level_slices,
+            const_one_columns=np.array(const_one, dtype=np.int32),
+            dff_columns=dff_columns,
+            dff_init=dff_init,
+            dff_index=dff_index,
+            all_output_columns=all_outputs,
+            all_pin_columns=all_pins,
+        )
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def num_comb_cells(self) -> int:
+        return len(self.comb_cell_names)
+
+    def columns_for(self, nets: Sequence[str]) -> np.ndarray:
+        """Value-matrix columns of ``nets`` (raises on unknown nets)."""
+        try:
+            return np.array([self.net_index[net] for net in nets],
+                            dtype=np.int32)
+        except KeyError as exc:
+            raise NetlistError(
+                f"net {exc.args[0]!r} does not exist in netlist "
+                f"{self.netlist.name!r}"
+            ) from exc
+
+    # -- batched evaluation ---------------------------------------------------
+
+    def _blank_state(self, num_vectors: int) -> np.ndarray:
+        """Value matrix with constants and DFF power-up values applied."""
+        state = np.zeros((num_vectors, self.num_nets + 1), dtype=np.uint8)
+        if self.const_one_columns.size:
+            state[:, self.const_one_columns] = 1
+        if self.dff_columns.size:
+            state[:, self.dff_columns] = self.dff_init[None, :]
+        return state
+
+    def evaluate_batch(self, input_rows: np.ndarray,
+                       input_nets: Optional[Sequence[str]] = None,
+                       register_rows: Optional[np.ndarray] = None,
+                       register_nets: Optional[Sequence[str]] = None
+                       ) -> np.ndarray:
+        """Evaluate every net for a batch of stimulus vectors.
+
+        Parameters
+        ----------
+        input_rows:
+            ``(num_vectors, len(input_nets))`` 0/1 matrix.
+        input_nets:
+            Net driven by each column of ``input_rows``; defaults to the
+            netlist's declared primary inputs (in declaration order).
+            Must cover every declared input; nets unknown to the netlist
+            are ignored (the interpreted walk also accepts and ignores
+            stray stimulus entries).
+        register_rows / register_nets:
+            Optional per-vector DFF output (Q) values, same convention.
+            Entries for nets that are not DFF outputs are ignored, as in
+            :meth:`Netlist.evaluate`.
+
+        Returns
+        -------
+        ``(num_vectors, num_nets)`` uint8 matrix; columns follow
+        :attr:`net_names`.
+        """
+        input_rows = np.ascontiguousarray(input_rows, dtype=np.uint8) & 1
+        if input_rows.ndim != 2:
+            raise NetlistError("input_rows must be a 2-D (vectors x nets) matrix")
+        if input_nets is None:
+            input_nets = self.netlist.inputs
+        input_nets = list(input_nets)
+        if input_rows.shape[1] != len(input_nets):
+            raise NetlistError(
+                f"input_rows has {input_rows.shape[1]} columns for "
+                f"{len(input_nets)} input nets"
+            )
+        missing = set(self.netlist.inputs) - set(input_nets)
+        if missing:
+            raise NetlistError(
+                f"missing value for primary input {sorted(missing)[0]!r}"
+            )
+
+        state = self._blank_state(input_rows.shape[0])
+        known = [pos for pos, net in enumerate(input_nets)
+                 if net in self.net_index]
+        cols = np.array([self.net_index[input_nets[pos]] for pos in known],
+                        dtype=np.int32)
+        state[:, cols] = input_rows[:, known]
+        # Constants and register values override stray stimulus entries,
+        # exactly as the interpreted walk's write order does.
+        if self.const_one_columns.size:
+            state[:, self.const_one_columns] = 1
+        if self.dff_columns.size:
+            state[:, self.dff_columns] = self.dff_init[None, :]
+        if register_rows is not None:
+            register_rows = np.ascontiguousarray(register_rows,
+                                                 dtype=np.uint8) & 1
+            register_nets = list(register_nets or [])
+            if register_rows.ndim != 2 or \
+                    register_rows.shape[1] != len(register_nets):
+                raise NetlistError(
+                    "register_rows must be (vectors x len(register_nets))"
+                )
+            if register_rows.shape[0] != input_rows.shape[0]:
+                raise NetlistError(
+                    "register_rows and input_rows must have the same "
+                    "number of vectors"
+                )
+            reg_known = [pos for pos, net in enumerate(register_nets)
+                         if net in self.dff_index]
+            reg_cols = np.array(
+                [self.dff_index[register_nets[pos]] for pos in reg_known],
+                dtype=np.int32,
+            )
+            if reg_cols.size:
+                state[:, reg_cols] = register_rows[:, reg_known]
+
+        self._sweep(state)
+        return state[:, : self.num_nets]
+
+    def _sweep(self, state: np.ndarray) -> None:
+        """Levelised vectorised evaluation over a padded value matrix."""
+        for start, end in self.level_slices:
+            arity = int(self.arity[start:end].max())
+            address = state[:, self.input_idx[start:end, 0]].astype(np.int32)
+            for pin in range(1, arity):
+                # Padded pins gather the always-zero column and therefore
+                # contribute nothing to the address.
+                address |= (state[:, self.input_idx[start:end, pin]]
+                            .astype(np.int32) << pin)
+            state[:, self.output_idx[start:end]] = self.tables[
+                self.table_offset[start:end][None, :] + address
+            ]
+
+    def evaluate(self, input_values: Mapping[str, int],
+                 register_values: Optional[Mapping[str, int]] = None
+                 ) -> Dict[str, int]:
+        """Single-vector convenience mirroring :meth:`Netlist.evaluate`.
+
+        Returns the same net -> 0/1 dict as the interpreted walk,
+        including stray stimulus nets passed through unchanged.
+        """
+        input_nets = list(input_values)
+        rows = np.array([[int(input_values[n]) & 1 for n in input_nets]],
+                        dtype=np.uint8)
+        register_rows = None
+        register_nets: Optional[List[str]] = None
+        if register_values is not None:
+            register_nets = list(register_values)
+            register_rows = np.array(
+                [[int(register_values[n]) & 1 for n in register_nets]],
+                dtype=np.uint8,
+            )
+        values = self.evaluate_batch(rows, input_nets, register_rows,
+                                     register_nets)
+        result = {net: int(values[0, col])
+                  for net, col in self.net_index.items()}
+        for net in input_nets:  # stray nets the netlist does not know
+            if net not in result:
+                result[net] = int(input_values[net]) & 1
+        return result
+
+    # -- switching activity ---------------------------------------------------
+
+    def toggle_counts(self, values: np.ndarray
+                      ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Per-transition output and input-pin toggle counts.
+
+        ``values`` is an ``(num_states, num_nets)`` matrix of successive
+        evaluations (e.g. one row per clock cycle); the result is a pair
+        of ``(num_states - 1,)`` int arrays counting, for each
+        consecutive pair of rows, how many cell outputs and how many
+        cell input pins changed value — the quantities
+        :meth:`~repro.trojan.base.HardwareTrojan._netlist_toggle_counts`
+        derives from two interpreted evaluations.
+        """
+        if values.ndim != 2 or values.shape[1] != self.num_nets:
+            raise NetlistError(
+                f"values must be (states x {self.num_nets}), got "
+                f"{values.shape}"
+            )
+        toggles = values[1:] != values[:-1]
+        output_toggles = toggles[:, self.all_output_columns].sum(axis=1)
+        pin_toggles = toggles[:, self.all_pin_columns].sum(axis=1)
+        return output_toggles.astype(np.int64), pin_toggles.astype(np.int64)
+
+
+class CompiledTimingEngine:
+    """Array-based two-vector timing over one compiled netlist.
+
+    The engine evaluates the last-transition arrival model of
+    :meth:`~repro.netlist.timing.TimingEngine.two_vector_arrival_times`
+    for a whole batch of stimulus transitions and a whole batch of delay
+    annotations (dies) in one levelised sweep: arrivals live in a
+    ``(num_pairs, num_dies, num_nets)`` float64 array (NaN = stable
+    net), and per-die cell/net delay vectors broadcast across the pair
+    axis.  Each element equals — bit for bit — what the interpreted
+    engine produces for that (pair, die).
+
+    Parameters
+    ----------
+    compiled:
+        A :class:`CompiledNetlist` (or a :class:`Netlist`, lowered via
+        its cache).
+    annotations:
+        One :class:`DelayAnnotation` per die (or a single annotation).
+    input_arrival_ps:
+        Launch time of toggling primary inputs.
+    """
+
+    def __init__(self, compiled: Union[CompiledNetlist, Netlist],
+                 annotations: Union[DelayAnnotation,
+                                    Sequence[DelayAnnotation], None] = None,
+                 input_arrival_ps: float = 0.0):
+        if isinstance(compiled, Netlist):
+            compiled = compiled.compiled()
+        self.compiled = compiled
+        if annotations is None:
+            annotations = DelayAnnotation()
+        if isinstance(annotations, DelayAnnotation):
+            annotations = [annotations]
+        self.annotations: List[DelayAnnotation] = list(annotations)
+        if not self.annotations:
+            raise ValueError("at least one delay annotation is required")
+        self.input_arrival_ps = float(input_arrival_ps)
+
+        netlist = compiled.netlist
+        comb_cells = [netlist.cells[name] for name in compiled.comb_cell_names]
+        # (num_dies, num_comb) cell delays and (num_dies, num_nets + 1)
+        # net delays; the padding column keeps gathers in-bounds (it is
+        # masked out by the never-toggling padded inputs).
+        self.cell_delays = np.stack([
+            annotation.cell_delay_vector(comb_cells)
+            for annotation in self.annotations
+        ])
+        net_delays = np.stack([
+            annotation.net_delay_vector(compiled.net_names)
+            for annotation in self.annotations
+        ])
+        self.net_delays = np.concatenate(
+            [net_delays, np.zeros((len(self.annotations), 1))], axis=1
+        )
+
+    @property
+    def num_dies(self) -> int:
+        return len(self.annotations)
+
+    # -- batched two-vector timing -----------------------------------------------
+
+    def two_vector_arrivals(self, before_rows: np.ndarray,
+                            after_rows: np.ndarray,
+                            input_nets: Optional[Sequence[str]] = None
+                            ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Arrival times for a batch of input transitions on every die.
+
+        Returns ``(values_before, values_after, arrivals)`` where the
+        value matrices have shape ``(num_pairs, num_nets)`` and
+        ``arrivals`` has shape ``(num_pairs, num_dies, num_nets)`` with
+        NaN marking nets that are stable for that transition.
+        """
+        compiled = self.compiled
+        values_before = compiled.evaluate_batch(before_rows, input_nets)
+        values_after = compiled.evaluate_batch(after_rows, input_nets)
+        num_pairs = values_before.shape[0]
+        num_dies = self.num_dies
+
+        toggles = np.concatenate(
+            [values_before != values_after,
+             np.zeros((num_pairs, 1), dtype=bool)], axis=1
+        )
+        arrivals = np.full((num_pairs, num_dies, compiled.num_nets + 1),
+                           np.nan)
+        in_cols = compiled.input_columns
+        arrivals[:, :, in_cols] = np.where(
+            toggles[:, None, in_cols], self.input_arrival_ps, np.nan
+        )
+
+        for start, end in compiled.level_slices:
+            arity = int(compiled.arity[start:end].max())
+            out_cols = compiled.output_idx[start:end]
+            launch = np.full((num_pairs, num_dies, end - start), -np.inf)
+            for pin in range(arity):
+                pin_cols = compiled.input_idx[start:end, pin]
+                pin_toggles = toggles[:, pin_cols]          # (P, C)
+                pin_arrivals = arrivals[:, :, pin_cols]     # (P, D, C)
+                candidate = pin_arrivals + self.net_delays[None, :, pin_cols]
+                valid = pin_toggles[:, None, :] & ~np.isnan(pin_arrivals)
+                launch = np.maximum(launch,
+                                    np.where(valid, candidate, -np.inf))
+            # An output that toggles although no (known-arrival) input
+            # toggles launches at the clock edge, as in the interpreted
+            # engine.
+            launch = np.where(np.isneginf(launch), self.input_arrival_ps,
+                              launch)
+            arrival_out = launch + self.cell_delays[None, :, start:end]
+            arrivals[:, :, out_cols] = np.where(
+                toggles[:, None, out_cols], arrival_out, np.nan
+            )
+        return values_before, values_after, arrivals[:, :, : compiled.num_nets]
+
+    def endpoint_arrivals(self, arrivals: np.ndarray,
+                          endpoint_nets: Sequence[str]) -> np.ndarray:
+        """Arrival at each endpoint including its routing delay.
+
+        ``arrivals`` is the third element of
+        :meth:`two_vector_arrivals`; the result has shape
+        ``(num_pairs, num_dies, len(endpoint_nets))`` with NaN for
+        stable endpoints (the interpreted engine's ``None``).
+        """
+        cols = self.compiled.columns_for(endpoint_nets)
+        return arrivals[:, :, cols] + self.net_delays[None, :, cols]
+
+    # -- interpreted-compatible convenience ------------------------------------
+
+    def two_vector_result(self, inputs_before: Mapping[str, int],
+                          inputs_after: Mapping[str, int],
+                          die: int = 0) -> TwoVectorResult:
+        """One transition on one die, as a :class:`TwoVectorResult`.
+
+        Drop-in for the interpreted
+        :meth:`~repro.netlist.timing.TimingEngine.two_vector_arrival_times`
+        (used by the equivalence tests; hot callers use the batched
+        matrix API directly).
+        """
+        input_nets = list(inputs_before)
+        if set(input_nets) != set(inputs_after):
+            raise NetlistError(
+                "before and after vectors must drive the same nets"
+            )
+        before_rows = np.array(
+            [[int(inputs_before[n]) & 1 for n in input_nets]], dtype=np.uint8
+        )
+        after_rows = np.array(
+            [[int(inputs_after[n]) & 1 for n in input_nets]], dtype=np.uint8
+        )
+        values_before, values_after, arrivals = self.two_vector_arrivals(
+            before_rows, after_rows, input_nets
+        )
+        compiled = self.compiled
+        known = set(compiled.net_index)
+        arrival_ps: Dict[str, Optional[float]] = {}
+        for net, col in compiled.net_index.items():
+            value = float(arrivals[0, die, col])
+            arrival_ps[net] = None if np.isnan(value) else value
+        before_dict = {net: int(values_before[0, col])
+                       for net, col in compiled.net_index.items()}
+        after_dict = {net: int(values_after[0, col])
+                      for net, col in compiled.net_index.items()}
+        for net in input_nets:
+            if net not in known:
+                before_dict[net] = int(inputs_before[net]) & 1
+                after_dict[net] = int(inputs_after[net]) & 1
+        return TwoVectorResult(
+            values_before=before_dict,
+            values_after=after_dict,
+            arrival_ps=arrival_ps,
+        )

@@ -73,7 +73,13 @@ class Netlist:
                 f"net {cell.output!r} is a primary input and cannot be driven"
             )
         self.cells[cell.name] = cell
-        self._invalidate_caches()
+        # Maintain the driver map incrementally: re-deriving it per added
+        # cell made composing sub-circuits (merge of the 16 S-boxes)
+        # quadratic.  Only the structure-dependent caches are dropped.
+        driver_cache = self.__dict__.get("_driver_cache")
+        if driver_cache is not None:
+            driver_cache[cell.output] = cell
+        self._invalidate_structure_caches()
         return cell
 
     def merge(self, other: "Netlist", prefix: str = "",
@@ -111,10 +117,17 @@ class Netlist:
 
     # -- structural queries ----------------------------------------------
 
-    def _invalidate_caches(self) -> None:
-        self.__dict__.pop("_driver_cache", None)
+    def _invalidate_structure_caches(self) -> None:
+        """Drop the caches a structural edit invalidates.
+
+        The driver map is maintained incrementally by :meth:`add_cell`
+        and therefore survives; the fan-out, topological-order and
+        compiled-kernel caches are derived from the full structure and
+        must be rebuilt.
+        """
         self.__dict__.pop("_loads_cache", None)
         self.__dict__.pop("_topo_cache", None)
+        self.__dict__.pop("_compiled_cache", None)
 
     @property
     def _drivers(self) -> Dict[str, Cell]:
@@ -137,8 +150,7 @@ class Netlist:
 
     def driver_of(self, net: str) -> Optional[Cell]:
         """The cell driving ``net`` or None (primary input / dangling)."""
-        return {cell.output: cell for cell in self.cells.values()}.get(net) \
-            if "_driver_cache" not in self.__dict__ else self._drivers.get(net)
+        return self._drivers.get(net)
 
     def loads_of(self, net: str) -> List[Cell]:
         """Cells whose inputs include ``net``."""
@@ -249,6 +261,24 @@ class Netlist:
             )
         self.__dict__["_topo_cache"] = list(order)
         return order
+
+    # -- compiled kernel ----------------------------------------------------
+
+    def compiled(self) -> "CompiledNetlist":
+        """The (cached) compiled form of this netlist.
+
+        Lowering happens once per structure; any :meth:`add_cell` drops
+        the cache together with the topological order.  The compiled
+        kernel evaluates batches of stimulus vectors at array speed and
+        is bit-identical to :meth:`evaluate` — see
+        :mod:`repro.netlist.compiled`.
+        """
+        cache = self.__dict__.get("_compiled_cache")
+        if cache is None:
+            from .compiled import CompiledNetlist  # deferred: avoids cycle
+            cache = CompiledNetlist.from_netlist(self)
+            self.__dict__["_compiled_cache"] = cache
+        return cache
 
     # -- evaluation --------------------------------------------------------
 

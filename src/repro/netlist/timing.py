@@ -14,6 +14,13 @@ Two complementary engines are provided:
   is faulted when the glitched clock period is shorter than the last
   transition arrival at its flip-flop D input (plus setup time).
 
+Both engines here are the *interpreted reference*: they walk the netlist
+one cell at a time and define the semantics.  Batched campaigns use the
+bit-identical array kernel in :mod:`repro.netlist.compiled`
+(:class:`~repro.netlist.compiled.CompiledTimingEngine`), which runs the
+same two-vector sweep for every (stimulus pair, die) combination at
+once.
+
 Delays are annotated through a :class:`DelayAnnotation`, which combines
 the intrinsic cell delay, a per-cell offset (intra-die process
 variation, IR-drop from a nearby trojan...), and a per-net routing
@@ -26,6 +33,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .cells import Cell, CellType
 from .netlist import Netlist, NetlistError
@@ -65,6 +74,26 @@ class DelayAnnotation:
     def net_delay_ps(self, net: str) -> float:
         """Routing delay of ``net``."""
         return max(0.0, self.net_delays_ps.get(net, self.default_net_delay_ps))
+
+    def cell_delay_vector(self, cells: Sequence[Cell]) -> np.ndarray:
+        """:meth:`cell_delay_ps` for many cells as one float64 vector.
+
+        Element ``i`` is bit-identical to ``cell_delay_ps(cells[i])``
+        (the same multiply/add/clamp applied elementwise); the compiled
+        timing engine gathers from this vector instead of calling the
+        scalar accessor per cell per stimulus.
+        """
+        intrinsic = np.array([cell.intrinsic_delay_ps() for cell in cells])
+        offsets = np.array([self.cell_offsets_ps.get(cell.name, 0.0)
+                            for cell in cells])
+        return np.maximum(0.0, intrinsic * self.cell_scale + offsets)
+
+    def net_delay_vector(self, nets: Sequence[str]) -> np.ndarray:
+        """:meth:`net_delay_ps` for many nets as one float64 vector."""
+        default = self.default_net_delay_ps
+        return np.maximum(0.0, np.array(
+            [self.net_delays_ps.get(net, default) for net in nets]
+        ))
 
     def copy(self) -> "DelayAnnotation":
         """Deep-enough copy (dictionaries are copied)."""

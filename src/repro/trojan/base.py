@@ -157,7 +157,19 @@ class HardwareTrojan:
         ``round_states`` is the sequence of state-register values over
         the encryption (initial state then one entry per round); the
         result has one entry per transition.
+
+        Concrete trojans override this with a compiled-kernel batch
+        (every cycle's netlist state evaluated in one array pass);
+        :meth:`encryption_activity_interpreted` remains the per-cycle
+        reference walk the overrides are tested against.
         """
+        return self.encryption_activity_interpreted(round_states,
+                                                    encryption_index)
+
+    def encryption_activity_interpreted(self, round_states: Sequence[bytes],
+                                        encryption_index: int = 0
+                                        ) -> List[TrojanActivity]:
+        """Reference implementation: one interpreted walk per cycle."""
         activities: List[TrojanActivity] = []
         for cycle, (before, after) in enumerate(
                 zip(round_states[:-1], round_states[1:]), start=1):
@@ -169,6 +181,20 @@ class HardwareTrojan:
         return activities
 
     # -- helpers for subclasses ------------------------------------------------
+
+    def _batched_toggle_counts(self, values: "object") -> List[TrojanActivity]:
+        """Toggle counts between consecutive rows of a compiled evaluation.
+
+        ``values`` is the ``(num_states, num_nets)`` matrix returned by
+        the compiled netlist for successive cycle states; entry ``i`` of
+        the result equals what :meth:`_netlist_toggle_counts` computes
+        for rows ``i`` and ``i + 1``.
+        """
+        output_toggles, pin_toggles = self.netlist.compiled().toggle_counts(
+            values
+        )
+        return [TrojanActivity(output_toggles=int(out), input_pin_toggles=int(pins))
+                for out, pins in zip(output_toggles, pin_toggles)]
 
     def _netlist_toggle_counts(self, inputs_before: Mapping[str, int],
                                inputs_after: Mapping[str, int],

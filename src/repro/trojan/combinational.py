@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..crypto.state import BLOCK_BITS, bytes_to_bits, validate_block
 from ..netlist.aes_round_circuit import paper_bit_to_byte_bit, state_input_net
 from ..netlist.netlist import Netlist
@@ -115,6 +117,29 @@ class CombinationalTrojan(HardwareTrojan):
             self.tap_values(state_before),
             self.tap_values(state_after),
         )
+
+    def encryption_activity(self, round_states: Sequence[bytes],
+                            encryption_index: int = 0) -> List[TrojanActivity]:
+        """All cycles of one encryption in a single compiled-kernel pass.
+
+        The trigger tree is evaluated once per register state (one row
+        per cycle boundary) instead of twice per cycle through the
+        interpreted walk; consecutive-row toggle counts reproduce
+        :meth:`round_activity` for every cycle exactly.
+        """
+        if len(round_states) < 2:
+            return []
+        # Paper-numbered state bits are MSB-first per byte.
+        state_bits = np.unpackbits(
+            np.array([list(validate_block(state)) for state in round_states],
+                     dtype=np.uint8),
+            axis=1,
+        )
+        tap_rows = state_bits[:, self.scanned_bits]
+        values = self.netlist.compiled().evaluate_batch(
+            tap_rows, input_nets=self.tap_input_nets
+        )
+        return self._batched_toggle_counts(values)
 
 
 def build_combinational_trojan(name: str, trigger_width: int,

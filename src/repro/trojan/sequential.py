@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..netlist.cells import make_dff, make_lut
 from ..netlist.netlist import Netlist
 from ..netlist.synth import synthesize_reduction_tree
@@ -151,6 +153,33 @@ class SequentialTrojan(HardwareTrojan):
             {"inc": 0}, {"inc": 0},
             registers_before=before, registers_after=after,
         )
+
+    def encryption_activity(self, round_states: Sequence[bytes],
+                            encryption_index: int = 0) -> List[TrojanActivity]:
+        """One encryption's activity from a single compiled-kernel batch.
+
+        Only the increment cycle toggles anything; its before/after
+        counter states are evaluated as two rows of one batch instead of
+        two interpreted walks.
+        """
+        num_cycles = max(0, len(round_states) - 1)
+        activities = [NO_ACTIVITY] * num_cycles
+        if not 1 <= self.increment_round <= num_cycles:
+            return activities
+        register_nets = [f"cnt_q{bit}" for bit in range(self.counter_width)]
+        register_rows = np.array(
+            [[self.counter_register_values(value)[net] for net in register_nets]
+             for value in (encryption_index, encryption_index + 1)],
+            dtype=np.uint8,
+        )
+        values = self.netlist.compiled().evaluate_batch(
+            np.zeros((2, 1), dtype=np.uint8), input_nets=["inc"],
+            register_rows=register_rows, register_nets=register_nets,
+        )
+        activities[self.increment_round - 1] = self._batched_toggle_counts(
+            values
+        )[0]
+        return activities
 
 
 def build_sequential_trojan(name: str = "HT_seq", counter_width: int = 32,

@@ -193,3 +193,103 @@ def test_run_campaign_persists_summary_and_traces(tmp_path, golden_design):
     # 2 golden + 2 infected traces
     assert len(traces) == 4
     assert all(np.isfinite(trace.samples).all() for trace in traces)
+
+
+# -- delay-study cells ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def delay_campaign(golden_design):
+    spec = CampaignSpec(
+        name="delay", trojans=("HT_comb", "HT_seq"), die_counts=(3,),
+        metrics=("delay_max_difference", "delay_mean_pair_max"),
+        seed=19, num_pk_pairs=2, delay_repetitions=2,
+    )
+    engine = CampaignEngine(spec, golden=golden_design)
+    return engine, engine.run()
+
+
+def test_delay_cells_execute_end_to_end(delay_campaign):
+    engine, result = delay_campaign
+    assert len(result.cells) == 2
+    for cell in result.cells:
+        assert cell.metric.startswith("delay_")
+        assert cell.trace_archive is None  # no EM traces acquired
+        assert set(cell.false_negative_rates()) == {"HT_comb", "HT_seq"}
+        for row in cell.rows:
+            assert 0.0 <= row.false_negative_rate <= 1.0
+            assert row.detection_probability == pytest.approx(
+                1.0 - row.false_negative_rate
+            )
+            assert row.sigma >= 0.0
+
+
+def test_delay_cells_share_one_measurement(delay_campaign):
+    engine, _ = delay_campaign
+    # Both metrics re-score the same cached difference matrices.
+    assert list(engine._delay_cache) == [3]
+    data = engine._delay_cache[3]
+    assert len(data.golden_differences) == 3
+    assert set(data.infected_differences) == {"HT_comb", "HT_seq"}
+
+
+def test_delay_cell_detects_the_tapping_trojan(delay_campaign):
+    """The datapath-tapping trojan must shift delays well past the clean
+    noise floor (the paper's Sec. III headline)."""
+    _, result = delay_campaign
+    for cell in result.cells:
+        comb_row = next(r for r in cell.rows if r.trojan == "HT_comb")
+        assert comb_row.mu > 0.0
+        assert comb_row.detection_probability > 0.9
+
+
+def test_delay_spec_round_trips(tmp_path):
+    spec = CampaignSpec(name="delay_rt", metrics=("delay_max_difference",),
+                        num_pk_pairs=5, delay_repetitions=4)
+    path = spec.save(tmp_path / "spec.json")
+    loaded = CampaignSpec.load(path)
+    assert loaded.num_pk_pairs == 5
+    assert loaded.delay_repetitions == 4
+    assert loaded.metrics == ("delay_max_difference",)
+    assert loaded.grid()[0].is_delay
+
+
+def test_mixed_em_and_delay_grid(golden_design, tmp_path):
+    """EM and delay metrics coexist in one grid; archives are owned by
+    the EM cells only."""
+    spec = CampaignSpec(
+        name="mixed", trojans=("HT1",), die_counts=(2,),
+        metrics=("delay_max_difference", "l1"), seed=3,
+        num_pk_pairs=2, delay_repetitions=2, save_traces=True,
+    )
+    engine = CampaignEngine(spec, golden=golden_design)
+    result = engine.run(artifact_dir=tmp_path)
+    delay_cell, em_cell = result.cells
+    assert delay_cell.metric == "delay_max_difference"
+    assert delay_cell.trace_archive is None
+    assert em_cell.trace_archive is not None
+    assert len(load_traces(em_cell.trace_archive)) == 4
+
+
+def test_delay_metrics_not_crossed_with_em_variants():
+    """The clock-glitch bench ignores EM variants: one delay cell per
+    die count, not one per (variant, die count)."""
+    spec = CampaignSpec(
+        name="collapse", trojans=("HT1",), die_counts=(2, 3),
+        variants=(AcquisitionVariant.make("paper"),
+                  AcquisitionVariant.make(
+                      "quiet", {"noise.sigma_single_shot": 200.0})),
+        metrics=("delay_max_difference", "l1"),
+    )
+    cells = spec.grid()
+    assert spec.num_cells() == len(cells) == 6  # 2 dies x (2 EM + 1 delay)
+    delay_cells = [cell for cell in cells if cell.is_delay]
+    assert [cell.variant.name for cell in delay_cells] == ["paper", "paper"]
+    assert sorted(cell.num_dies for cell in delay_cells) == [2, 3]
+    assert [cell.index for cell in cells] == list(range(6))
+
+
+def test_build_delay_scorer_rejects_unknown_names():
+    from repro.campaigns import build_delay_scorer
+
+    with pytest.raises(KeyError, match="delay_max_difference"):
+        build_delay_scorer("nope")
