@@ -52,6 +52,7 @@ from ..core.metrics import (
 from ..core.pipeline import (
     HTDetectionPlatform,
     PlatformConfig,
+    average_stimulus_traces,
     run_population_em_study,
 )
 from ..core.report import format_table
@@ -287,14 +288,32 @@ class CampaignEngine:
 
         This is the golden-fingerprint cache: cells that differ only in
         the metric share the acquired traces and therefore the golden
-        reference they induce.
+        reference they induce.  With ``spec.num_plaintexts > 1`` the
+        whole stimulus set is acquired in batched
+        (:meth:`~repro.measurement.em_simulator.EMSimulator.acquire_many_batch`)
+        passes and each die is represented by its stimulus-averaged
+        trace.
         """
         cache_key = cell.acquisition_key
         if cache_key not in self._acquisition_cache:
             platform = self.platform_for(cell)
-            self._acquisition_cache[cache_key] = platform.acquire_population_traces(
-                self.spec.trojans, self.spec.plaintext, self.spec.key
-            )
+            plaintexts = self.spec.stimulus_plaintexts()
+            if len(plaintexts) == 1:
+                self._acquisition_cache[cache_key] = \
+                    platform.acquire_population_traces(
+                        self.spec.trojans, plaintexts[0], self.spec.key
+                    )
+            else:
+                golden_grid, infected_grid = (
+                    platform.acquire_population_traces_stimuli(
+                        self.spec.trojans, plaintexts, self.spec.key
+                    )
+                )
+                self._acquisition_cache[cache_key] = (
+                    average_stimulus_traces(golden_grid),
+                    {name: average_stimulus_traces(infected_grid[name])
+                     for name in self.spec.trojans},
+                )
         return self._acquisition_cache[cache_key]
 
     def delay_study_data(self, cell: GridCell) -> "_DelayStudyData":

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..measurement.em_simulator import EMAcquisitionConfig
-from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
+from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT, campaign_stimuli
 from ..trojan.library import TROJAN_SPECS
 
 PathLike = Union[str, Path]
@@ -168,6 +168,11 @@ class CampaignSpec:
     #: Delay-study campaign sizes (used by ``delay_*`` metric cells).
     num_pk_pairs: int = 4
     delay_repetitions: int = 3
+    #: Stimulus diversity of the EM cells: 1 keeps the paper's fixed
+    #: plaintext; N > 1 sweeps ``plaintext`` plus N - 1 seed-derived
+    #: random plaintexts through the batched whole-stimulus kernel and
+    #: scores each die on its stimulus-averaged trace.
+    num_plaintexts: int = 1
 
     def __post_init__(self) -> None:
         self.trojans = tuple(self.trojans)
@@ -208,6 +213,20 @@ class CampaignSpec:
             raise ValueError("num_pk_pairs must be >= 1")
         if self.delay_repetitions < 1:
             raise ValueError("delay_repetitions must be >= 1")
+        if self.num_plaintexts < 1:
+            raise ValueError("num_plaintexts must be >= 1")
+
+    def stimulus_plaintexts(self) -> List[bytes]:
+        """The EM stimulus set of this campaign.
+
+        ``[plaintext]`` for the paper's fixed-stimulus scenario;
+        otherwise ``plaintext`` followed by ``num_plaintexts - 1``
+        random plaintexts derived deterministically from the campaign
+        seed (growing ``num_plaintexts`` extends the set without
+        reshuffling it).
+        """
+        return campaign_stimuli(self.num_plaintexts, self.seed,
+                                first=self.plaintext)
 
     # -- grid expansion ----------------------------------------------------------
 
@@ -257,6 +276,7 @@ class CampaignSpec:
             "save_traces": self.save_traces,
             "num_pk_pairs": self.num_pk_pairs,
             "delay_repetitions": self.delay_repetitions,
+            "num_plaintexts": self.num_plaintexts,
         }
 
     @classmethod

@@ -125,6 +125,8 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         spec.num_pk_pairs = args.pk_pairs
     if args.delay_repetitions is not None:
         spec.delay_repetitions = args.delay_repetitions
+    if args.plaintexts is not None:
+        spec.num_plaintexts = args.plaintexts
     if args.save_traces:
         spec.save_traces = True
     if spec.save_traces and args.out is None:
@@ -220,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--delay-repetitions", type=int, default=None,
                        dest="delay_repetitions",
                        help="glitch-sweep repetitions per delay measurement")
+    p_run.add_argument("--plaintexts", type=int, default=None,
+                       help="EM stimulus diversity: 1 fixed plaintext "
+                            "(paper), N sweeps N-1 extra random plaintexts "
+                            "through the batched stimulus kernel")
     p_run.add_argument("--workers", type=int, default=None,
                        help="process-pool size for independent grid cells")
     p_run.add_argument("--out", default=None,

@@ -303,20 +303,119 @@ class HTDetectionPlatform:
                 )
         return golden_traces, infected_traces
 
+    # -- random-plaintext (multi-stimulus) population acquisition ---------------
+
+    def acquire_population_traces_stimuli(self, trojan_names: Sequence[str],
+                                          plaintexts: Sequence[bytes],
+                                          key: Optional[bytes] = None
+                                          ) -> "tuple[List[List[EMTrace]], Dict[str, List[List[EMTrace]]]]":
+        """Population traces over a whole *stimulus set* in batched passes.
+
+        Every design's (plaintext x die) grid is synthesised by one
+        :meth:`EMSimulator.acquire_many_batch` call — the batched AES
+        kernel prices all plaintexts at once, the trojan activity of all
+        encryptions comes from one compiled-kernel evaluation, and the
+        oscilloscope noise/quantise pass is vectorised.  Each die keeps
+        its own noise stream, consumed in the order of
+        :meth:`acquire_population_traces_stimuli_serial`, so the result
+        is bit-identical to that serial reference.
+
+        Returns ``(golden, infected)`` with ``golden[die][plaintext]``
+        and ``infected[name][die][plaintext]``.
+        """
+        key = key if key is not None else DEFAULT_KEY
+        die_indices = range(len(self.population))
+        rngs = self._die_rngs()
+        golden_traces = self.em_simulator.acquire_many_batch(
+            [self.golden_dut(die_index) for die_index in die_indices],
+            plaintexts, key, rngs, new_setup_installation=True,
+        )
+        infected_traces: Dict[str, List[List[EMTrace]]] = {}
+        for name in trojan_names:
+            infected_traces[name] = self.em_simulator.acquire_many_batch(
+                [self.infected_dut(name, die_index)
+                 for die_index in die_indices],
+                plaintexts, key, rngs, new_setup_installation=True,
+            )
+        return golden_traces, infected_traces
+
+    def acquire_population_traces_stimuli_serial(
+            self, trojan_names: Sequence[str], plaintexts: Sequence[bytes],
+            key: Optional[bytes] = None
+            ) -> "tuple[List[List[EMTrace]], Dict[str, List[List[EMTrace]]]]":
+        """Reference nested loop for the multi-stimulus acquisition.
+
+        One serial :meth:`EMSimulator.acquire_many` per (design, die),
+        golden first, in die order — the ground truth
+        :meth:`acquire_population_traces_stimuli` is validated (and
+        benchmarked) against.
+        """
+        key = key if key is not None else DEFAULT_KEY
+        golden_traces: List[List[EMTrace]] = []
+        infected_traces: Dict[str, List[List[EMTrace]]] = {
+            name: [] for name in trojan_names
+        }
+        rngs = self._die_rngs()
+        for die_index, rng in enumerate(rngs):
+            golden_traces.append(
+                self.em_simulator.acquire_many(
+                    self.golden_dut(die_index), plaintexts, key, rng,
+                    new_setup_installation=True,
+                )
+            )
+        for name in trojan_names:
+            for die_index, rng in enumerate(rngs):
+                infected_traces[name].append(
+                    self.em_simulator.acquire_many(
+                        self.infected_dut(name, die_index), plaintexts, key,
+                        rng, new_setup_installation=True,
+                    )
+                )
+        return golden_traces, infected_traces
+
     def run_population_em_study(self, trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
                                 plaintext: Optional[bytes] = None,
                                 key: Optional[bytes] = None,
-                                metric: Optional[LocalMaximaSumMetric] = None
+                                metric: Optional[LocalMaximaSumMetric] = None,
+                                plaintexts: Optional[Sequence[bytes]] = None
                                 ) -> PopulationEMStudyResult:
         """HT size sweep across the die population (Figs. 6-7, headline numbers).
 
         Thin wrapper over :func:`run_population_em_study`, the single
-        implementation shared with the campaign engine's grid cells.
+        implementation shared with the campaign engine's grid cells;
+        ``plaintexts`` runs the random-plaintext variant (each die
+        scored on its stimulus-averaged trace).
         """
         return run_population_em_study(
             self, trojan_names=trojan_names, plaintext=plaintext, key=key,
-            metric=metric,
+            metric=metric, plaintexts=plaintexts,
         )
+
+
+def average_stimulus_traces(per_die_traces: Sequence[Sequence[EMTrace]]
+                            ) -> List[EMTrace]:
+    """Collapse a (die x plaintext) trace grid to one trace per die.
+
+    A random-plaintext campaign characterises each die by the mean of
+    its per-stimulus averaged traces (the multi-stimulus analogue of the
+    oscilloscope's 1 000-fold same-stimulus averaging); the golden
+    reference and every infected device are averaged over the *same*
+    stimulus set, so the Sec. V comparison stays like-for-like.
+    """
+    averaged: List[EMTrace] = []
+    for die_traces in per_die_traces:
+        if not die_traces:
+            raise ValueError("every die needs at least one stimulus trace")
+        first = die_traces[0]
+        samples = np.mean([trace.samples for trace in die_traces], axis=0)
+        averaged.append(EMTrace(
+            samples=samples,
+            label=first.label,
+            plaintext=first.plaintext,
+            sample_period_ns=first.sample_period_ns,
+            cycle_sample_offsets=list(first.cycle_sample_offsets),
+        ))
+    return averaged
 
 
 def run_population_em_study(platform: "HTDetectionPlatform",
@@ -324,7 +423,8 @@ def run_population_em_study(platform: "HTDetectionPlatform",
                             plaintext: Optional[bytes] = None,
                             key: Optional[bytes] = None,
                             metric: Optional[LocalMaximaSumMetric] = None,
-                            traces: "Optional[tuple]" = None
+                            traces: "Optional[tuple]" = None,
+                            plaintexts: Optional[Sequence[bytes]] = None
                             ) -> PopulationEMStudyResult:
     """The Sec. V inter-die study (HT size sweep over a die population).
 
@@ -332,12 +432,32 @@ def run_population_em_study(platform: "HTDetectionPlatform",
     (:meth:`HTDetectionPlatform.run_population_em_study`) and the
     campaign engine's grid cells; ``traces`` lets callers feed an
     already-acquired ``(golden_traces, infected_traces)`` population
-    instead of re-acquiring.
+    instead of re-acquiring.  ``plaintexts`` (mutually exclusive with
+    ``plaintext``) sweeps a whole stimulus set through the batched
+    acquisition and scores each die on its stimulus-averaged trace.
     """
     if traces is None:
-        golden_traces, infected_traces = platform.acquire_population_traces(
-            trojan_names, plaintext, key
-        )
+        if plaintexts is not None and plaintext is not None:
+            raise ValueError("pass either plaintext or plaintexts, not both")
+        if plaintexts is not None and not plaintexts:
+            raise ValueError("plaintexts must contain at least one stimulus")
+        if plaintexts is not None and len(plaintexts) > 1:
+            golden_grid, infected_grid = (
+                platform.acquire_population_traces_stimuli(
+                    trojan_names, plaintexts, key
+                )
+            )
+            golden_traces = average_stimulus_traces(golden_grid)
+            infected_traces = {
+                name: average_stimulus_traces(infected_grid[name])
+                for name in trojan_names
+            }
+        else:
+            if plaintexts is not None:
+                plaintext = plaintexts[0]
+            golden_traces, infected_traces = platform.acquire_population_traces(
+                trojan_names, plaintext, key
+            )
     else:
         golden_traces, infected_traces = traces
     detector = PopulationEMDetector(metric=metric)

@@ -20,6 +20,14 @@ from .aes import (
     shift_rows_block,
     sub_bytes_block,
 )
+from .batch import (
+    BatchedAES,
+    as_block_matrix,
+    encrypt_round_states,
+    expand_keys,
+    mix_columns_batch,
+    switching_activity_counts,
+)
 from .gf import gf_inv, gf_mul, gf_pow, xtime
 from .keyschedule import expand_key, last_round_key, round_key
 from .sbox import INV_SBOX, SBOX, inv_sub_byte, sub_byte
@@ -39,8 +47,14 @@ from .state import (
 
 __all__ = [
     "AES",
+    "BatchedAES",
     "EncryptionTrace",
     "RoundRecord",
+    "as_block_matrix",
+    "encrypt_round_states",
+    "expand_keys",
+    "mix_columns_batch",
+    "switching_activity_counts",
     "encrypt_block",
     "decrypt_block",
     "sub_bytes_block",

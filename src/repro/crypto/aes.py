@@ -34,7 +34,17 @@ from .state import (
 # Byte index permutation implementing ShiftRows on the flat (column-major)
 # 16-byte block: output[i] = input[SHIFT_ROWS_PERM[i]].
 SHIFT_ROWS_PERM = (0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11)
-INV_SHIFT_ROWS_PERM = tuple(SHIFT_ROWS_PERM.index(i) for i in range(16))
+
+
+def _invert_permutation(perm: Sequence[int]) -> "tuple[int, ...]":
+    """Invert a permutation in one linear scan (no quadratic ``.index``)."""
+    inverse = [0] * len(perm)
+    for position, value in enumerate(perm):
+        inverse[value] = position
+    return tuple(inverse)
+
+
+INV_SHIFT_ROWS_PERM = _invert_permutation(SHIFT_ROWS_PERM)
 
 
 def sub_bytes_block(block: Sequence[int]) -> bytes:
@@ -179,8 +189,20 @@ class AES:
     # -- public API -----------------------------------------------------
 
     def encrypt(self, plaintext: Sequence[int]) -> bytes:
-        """Encrypt one 16-byte block."""
-        return self.encrypt_trace(plaintext).ciphertext
+        """Encrypt one 16-byte block.
+
+        Fast path: runs the round loop directly, without allocating the
+        per-round :class:`RoundRecord` objects of :meth:`encrypt_trace`
+        (callers that need the intermediate states use the trace API).
+        """
+        state = validate_block(plaintext, "plaintext")
+        state = xor_bytes(state, self.round_keys[0])
+        for round_index in range(1, self.num_rounds + 1):
+            state = shift_rows_block(sub_bytes_block(state))
+            if round_index < self.num_rounds:
+                state = mix_columns_block(state)
+            state = xor_bytes(state, self.round_keys[round_index])
+        return state
 
     def decrypt(self, ciphertext: Sequence[int]) -> bytes:
         """Decrypt one 16-byte block."""

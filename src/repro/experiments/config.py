@@ -11,11 +11,11 @@ pytest benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import List, Optional
 
 from ..core.pipeline import HTDetectionPlatform, PlatformConfig
 from ..measurement.delay_meter import DelayMeasurementConfig
-from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
+from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT, campaign_stimuli
 
 
 @dataclass
@@ -28,6 +28,10 @@ class ExperimentConfig:
     representative_pairs: "tuple[int, int]" = (13, 47)
     seed: int = 2015
     quick: bool = False
+    #: EM stimulus diversity: 1 reproduces the paper's fixed plaintext;
+    #: N > 1 adds N - 1 seed-derived random plaintexts (each die is then
+    #: scored on its stimulus-averaged trace).
+    num_plaintexts: int = 1
 
     def __post_init__(self) -> None:
         if self.num_dies < 2:
@@ -36,11 +40,23 @@ class ExperimentConfig:
             raise ValueError("num_pk_pairs must be at least 1")
         if self.repetitions < 1:
             raise ValueError("repetitions must be at least 1")
+        if self.num_plaintexts < 1:
+            raise ValueError("num_plaintexts must be at least 1")
         for pair in self.representative_pairs:
             if pair >= self.num_pk_pairs:
                 raise ValueError(
                     "representative pair index beyond the number of pairs"
                 )
+
+    def stimulus_plaintexts(self) -> List[bytes]:
+        """The EM stimulus set: the fixed plaintext plus random extras.
+
+        Shares :func:`repro.stimulus.campaign_stimuli` with the
+        campaign specs, so equal (count, seed) always means equal
+        stimuli across both drivers.
+        """
+        return campaign_stimuli(self.num_plaintexts, self.seed,
+                                first=FIXED_PLAINTEXT)
 
     @classmethod
     def paper(cls) -> "ExperimentConfig":

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.pipeline import HTDetectionPlatform, PopulationEMStudyResult
-from .config import FIXED_KEY, FIXED_PLAINTEXT, ExperimentConfig
+from .config import FIXED_KEY, ExperimentConfig
 
 #: The paper's reported false-negative rates, keyed by trojan name.
 PAPER_FALSE_NEGATIVE_RATES: Dict[str, float] = {
@@ -89,8 +89,13 @@ def run(config: Optional[ExperimentConfig] = None,
     config = config or ExperimentConfig.fast()
     platform = platform or config.build_platform()
     if study is None:
+        # ``num_plaintexts == 1`` yields ``[FIXED_PLAINTEXT]``, which the
+        # study maps back onto the paper's fixed-stimulus path; larger
+        # values sweep the whole stimulus set through the batched
+        # acquisition and average per die.
         study = platform.run_population_em_study(
-            trojan_names=trojan_names, plaintext=FIXED_PLAINTEXT, key=FIXED_KEY
+            trojan_names=trojan_names, key=FIXED_KEY,
+            plaintexts=config.stimulus_plaintexts(),
         )
     rows: List[HeadlineRow] = []
     for name in trojan_names:

@@ -24,6 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..crypto.aes import AES
+from ..crypto.batch import (
+    as_block_matrix,
+    expand_keys,
+    round_states_with_keys,
+)
 from ..crypto.state import BLOCK_BITS
 from ..netlist.timing import TimingEngine
 from .clock import ClockGlitchGenerator, TimingBudget
@@ -194,6 +199,42 @@ class PathDelayMeter:
         after = circuit.input_values(trace.round(attacked).state_in,
                                      aes.round_keys[attacked])
         return before, after
+
+    def pair_transitions_batch(self, dut: DeviceUnderTest,
+                               pairs: Sequence[PlaintextKeyPair]
+                               ) -> "List[Tuple[Dict[str, int], Dict[str, int]]]":
+        """Attacked-round input vectors of *all* pairs in one cipher pass.
+
+        The register states of every (P, K) stimulus come from the
+        batched AES kernel (:mod:`repro.crypto.batch`, one array pass
+        per round with per-pair round keys) instead of one scalar
+        ``encrypt_trace`` per pair; each entry is bit-identical to
+        :meth:`pair_transitions`, which remains the serial reference.
+        """
+        if not pairs:
+            return []
+        attacked = self.config.attacked_round
+        round_keys = expand_keys([pair.key for pair in pairs])
+        states = round_states_with_keys(
+            as_block_matrix([pair.plaintext for pair in pairs]), round_keys
+        )
+        num_rounds = states.shape[1] - 2
+        if not 2 <= attacked <= num_rounds:
+            raise ValueError(
+                f"attacked_round must be in 2..{num_rounds}, got {attacked}"
+            )
+        circuit = dut.circuit
+        # Row r of the state tensor is the register content *entering*
+        # round r (row 0 = plaintext, row 1 = state after AddRoundKey 0).
+        return [
+            (
+                circuit.input_values(bytes(states[row, attacked - 1]),
+                                     bytes(round_keys[row, attacked - 1])),
+                circuit.input_values(bytes(states[row, attacked]),
+                                     bytes(round_keys[row, attacked])),
+            )
+            for row in range(len(pairs))
+        ]
 
     def arrival_times_ps(self, dut: DeviceUnderTest,
                          pair: PlaintextKeyPair,
@@ -381,9 +422,11 @@ class PathDelayMeter:
             before_rows = np.empty((len(pairs), len(input_nets)),
                                    dtype=np.uint8)
             after_rows = np.empty_like(before_rows)
-            for row, pair in enumerate(pairs):
-                before, after = self.pair_transitions(duts[dut_indices[0]],
-                                                      pair)
+            # All pairs' attacked-round stimuli from one batched-cipher
+            # pass rather than one scalar encrypt_trace per pair.
+            transitions = self.pair_transitions_batch(duts[dut_indices[0]],
+                                                      pairs)
+            for row, (before, after) in enumerate(transitions):
                 before_rows[row] = [before[net] for net in input_nets]
                 after_rows[row] = [after[net] for net in input_nets]
             engine = CompiledTimingEngine(
@@ -483,24 +526,34 @@ class PathDelayMeter:
 
         Uses the explicit faulted-ciphertext path of the fault-injection
         model: for every step the glitched round is "run" once and the
-        faulted ciphertext compared against the correct one.
+        faulted ciphertext compared against the correct one.  The
+        attacked-round register states (stimulus, stale and correct
+        capture values) come from the batched AES kernel rather than a
+        scalar ``encrypt_trace``.
         """
         rng = np.random.default_rng(seed)
-        aes = AES(pair.key)
-        trace = aes.encrypt_trace(pair.plaintext)
         attacked = self.config.attacked_round
+        round_keys = expand_keys(pair.key)
+        states = round_states_with_keys(
+            as_block_matrix([pair.plaintext]), round_keys
+        )
+        num_rounds = states.shape[1] - 2
+        if not 2 <= attacked <= num_rounds:
+            raise ValueError(
+                f"attacked_round must be in 2..{num_rounds}, got {attacked}"
+            )
         circuit = dut.circuit
         engine = self._timing_engine(dut)
-        before = circuit.input_values(trace.round(attacked - 1).state_in,
-                                      aes.round_keys[attacked - 1])
-        after = circuit.input_values(trace.round(attacked).state_in,
-                                     aes.round_keys[attacked])
+        before = circuit.input_values(bytes(states[0, attacked - 1]),
+                                      bytes(round_keys[0, attacked - 1]))
+        after = circuit.input_values(bytes(states[0, attacked]),
+                                     bytes(round_keys[0, attacked]))
         result = engine.two_vector_arrival_times(before, after)
         endpoint = engine.endpoint_delays(result, circuit.output_d_nets())
         arrivals = [endpoint[net] for net in circuit.output_d_nets()]
 
-        correct = trace.round(attacked).state_out
-        stale = trace.round(attacked).state_in
+        correct = bytes(states[0, attacked + 1])
+        stale = bytes(states[0, attacked])
         staircase: Dict[int, int] = {}
         for step, period in enumerate(glitch.periods()):
             faulted = self.config.fault_model.faulted_ciphertext(

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..crypto.aes import AES
+from ..crypto.batch import BatchedAES, switching_activity_counts
 from ..crypto.state import hamming_distance
 from .dut import DeviceUnderTest
 from .em_probe import Amplifier, EMProbe, probe_impulse_response
@@ -64,6 +65,11 @@ ACTIVITY_TO_AMPLITUDE = 1.0
 #: slightly different amount per cycle — this is what makes the |G_j - E(G)|
 #: curves of Fig. 6 look jagged rather than like a scaled copy of the trace.
 DIE_CYCLE_GAIN_JITTER = 0.03
+#: Bounds on the memoised per-(key, plaintext) activity caches.  Long
+#: random-plaintext campaigns would otherwise grow them without limit;
+#: eviction is oldest-first (insertion order).
+HOST_ACTIVITY_CACHE_ENTRIES = 4096
+TROJAN_ACTIVITY_CACHE_ENTRIES = 4096
 
 
 @dataclass
@@ -159,6 +165,24 @@ class EMSimulator:
         self._trojan_activity_cache: Dict[
             Tuple[int, bytes, bytes, int], Tuple[object, List[float]]
         ] = {}
+        #: Per-instance cache bounds (entries; tweakable for tests).
+        self.host_activity_cache_entries = HOST_ACTIVITY_CACHE_ENTRIES
+        self.trojan_activity_cache_entries = TROJAN_ACTIVITY_CACHE_ENTRIES
+
+    # -- cache management -------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop every memoised host/trojan activity entry."""
+        self._host_activity_cache.clear()
+        self._trojan_activity_cache.clear()
+
+    @staticmethod
+    def _cache_insert(cache: Dict, key, value, max_entries: int) -> None:
+        """Insert with oldest-first eviction once ``max_entries`` is hit."""
+        if key not in cache:
+            while len(cache) >= max(1, max_entries):
+                cache.pop(next(iter(cache)))
+        cache[key] = value
 
     # -- activity model ---------------------------------------------------------
 
@@ -322,10 +346,16 @@ class EMSimulator:
         return acquired
 
     def acquire_many(self, dut: DeviceUnderTest, plaintexts: Sequence[bytes],
-                     key: bytes, rng: np.random.Generator) -> List[EMTrace]:
-        """Acquire one averaged trace per plaintext (random-plaintext campaign)."""
+                     key: bytes, rng: np.random.Generator,
+                     new_setup_installation: bool = False) -> List[EMTrace]:
+        """Acquire one averaged trace per plaintext (random-plaintext campaign).
+
+        This per-plaintext loop is the serial reference
+        :meth:`acquire_many_batch` is tested (and benchmarked) against.
+        """
         return [
-            self.acquire(dut, plaintext, key, rng, encryption_index=index)
+            self.acquire(dut, plaintext, key, rng, encryption_index=index,
+                         new_setup_installation=new_setup_installation)
             for index, plaintext in enumerate(plaintexts)
         ]
 
@@ -335,8 +365,10 @@ class EMSimulator:
                                 key: bytes) -> List[float]:
         cache_key = (bytes(key), bytes(plaintext))
         if cache_key not in self._host_activity_cache:
-            self._host_activity_cache[cache_key] = self.host_cycle_activities(
-                aes, plaintext
+            self._cache_insert(
+                self._host_activity_cache, cache_key,
+                self.host_cycle_activities(aes, plaintext),
+                self.host_activity_cache_entries,
             )
         return self._host_activity_cache[cache_key]
 
@@ -351,7 +383,8 @@ class EMSimulator:
                 dut, aes, plaintext, encryption_index
             )
             entry = (dut.design, activities)
-            self._trojan_activity_cache[cache_key] = entry
+            self._cache_insert(self._trojan_activity_cache, cache_key, entry,
+                               self.trojan_activity_cache_entries)
         return entry[1]
 
     def batch_noiseless_traces(self, duts: Sequence[DeviceUnderTest],
@@ -484,3 +517,243 @@ class EMSimulator:
                 quantise=config.quantise,
             )
         return traces
+
+    # -- whole-stimulus batched acquisition ---------------------------------------
+
+    def _host_activity_matrix(self, key: bytes, plaintexts: Sequence[bytes],
+                              round_states: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+        """Per-cycle host activities of a stimulus batch, shape ``(P, C)``.
+
+        One batched-cipher pass covers every plaintext; rows already in
+        the per-(key, plaintext) cache are reused and freshly computed
+        rows are inserted (bounded), so single-stimulus and batch paths
+        share one memo.
+        """
+        key = bytes(key)
+        plaintexts = [bytes(plaintext) for plaintext in plaintexts]
+        cached = [self._host_activity_cache.get((key, plaintext))
+                  for plaintext in plaintexts]
+        if plaintexts and all(row is not None for row in cached):
+            return np.asarray(cached, dtype=float)
+        config = self.config
+        if round_states is None:
+            round_states = BatchedAES(key).round_states(plaintexts)
+        toggles = switching_activity_counts(round_states)
+        matrix = (config.baseline_activity
+                  + config.register_toggle_weight * toggles
+                  * (1.0 + config.combinational_activity_factor))
+        for plaintext, row in zip(plaintexts, matrix):
+            self._cache_insert(
+                self._host_activity_cache, (key, plaintext),
+                [float(value) for value in row],
+                self.host_activity_cache_entries,
+            )
+        return matrix
+
+    def _trojan_activity_matrix(self, dut: DeviceUnderTest, key: bytes,
+                                plaintexts: Sequence[bytes],
+                                round_states: np.ndarray,
+                                encryption_indices: Sequence[int]
+                                ) -> np.ndarray:
+        """Per-cycle trojan activities of a stimulus batch, shape ``(P, C)``.
+
+        All encryptions' register states go through one compiled-kernel
+        evaluation (:meth:`~repro.trojan.base.HardwareTrojan.
+        encryption_activity_counts`); zeros for a clean design.
+        """
+        num_cycles = round_states.shape[1] - 1
+        if dut.trojan is None:
+            return np.zeros((round_states.shape[0], num_cycles))
+        key = bytes(key)
+        plaintexts = [bytes(plaintext) for plaintext in plaintexts]
+        cached_rows: List[List[float]] = []
+        for plaintext, index in zip(plaintexts, encryption_indices):
+            entry = self._trojan_activity_cache.get(
+                (id(dut.design), key, plaintext, index)
+            )
+            if entry is None or entry[0] is not dut.design:
+                break
+            cached_rows.append(entry[1])
+        if plaintexts and len(cached_rows) == len(plaintexts):
+            return np.asarray(cached_rows, dtype=float)
+        config = self.config
+        output_toggles, pin_toggles = dut.trojan.encryption_activity_counts(
+            round_states, encryption_indices
+        )
+        clock_load = (config.trojan_clock_load_per_cell
+                      * dut.trojan.cell_count())
+        matrix = clock_load + (output_toggles
+                               + config.trojan_pin_toggle_weight * pin_toggles)
+        for plaintext, index, row in zip(plaintexts, encryption_indices,
+                                         matrix):
+            self._cache_insert(
+                self._trojan_activity_cache,
+                (id(dut.design), key, plaintext, index),
+                (dut.design, [float(value) for value in row]),
+                self.trojan_activity_cache_entries,
+            )
+        return matrix
+
+    def batch_noiseless_traces_many(self, duts: Sequence[DeviceUnderTest],
+                                    plaintexts: Sequence[bytes], key: bytes,
+                                    encryption_indices: Optional[Sequence[int]]
+                                    = None
+                                    ) -> "Tuple[np.ndarray, List[int]]":
+        """Deterministic emissions of a whole (plaintext x DUT) grid.
+
+        The batched cipher prices every stimulus in one pass, each
+        unique design's trojan activity comes from one compiled-kernel
+        evaluation over all encryptions' register states, and the pulse
+        synthesis fills a ``(plaintexts, duts, samples)`` tensor in a
+        handful of broadcast operations.  Every ``[p, d]`` plane is
+        arithmetically identical to ``noiseless_trace(duts[d],
+        plaintexts[p], key, encryption_index=p)``.
+
+        Returns ``(signal, cycle_sample_offsets)``.
+        """
+        config = self.config
+        plaintexts = [bytes(plaintext) for plaintext in plaintexts]
+        num_plaintexts = len(plaintexts)
+        num_duts = len(duts)
+        if encryption_indices is None:
+            encryption_indices = list(range(num_plaintexts))
+        else:
+            encryption_indices = [int(i) for i in encryption_indices]
+            if len(encryption_indices) != num_plaintexts:
+                raise ValueError(
+                    f"got {len(encryption_indices)} encryption indices for "
+                    f"{num_plaintexts} plaintexts"
+                )
+        if not num_duts or not num_plaintexts:
+            raise ValueError("at least one DUT and one plaintext are required")
+
+        round_states = BatchedAES(key).round_states(plaintexts)
+        host_matrix = self._host_activity_matrix(key, plaintexts, round_states)
+        num_cycles = host_matrix.shape[1]
+        num_rounds = num_cycles - 1
+        samples_per_cycle = config.samples_per_cycle
+        total_samples = config.total_samples(num_rounds)
+        kernel = self._kernel
+
+        # Per-design coupled activity, one compiled pass per unique design.
+        coupled_by_design: Dict[int, Tuple[np.ndarray, float]] = {}
+        coupled = np.empty((num_plaintexts, num_duts, num_cycles))
+        host_couplings = np.empty(num_duts)
+        for column, dut in enumerate(duts):
+            design_key = id(dut.design)
+            if design_key not in coupled_by_design:
+                trojan_matrix = self._trojan_activity_matrix(
+                    dut, key, plaintexts, round_states, encryption_indices
+                )
+                host_coupling = self.host_probe_coupling(dut)
+                coupled_by_design[design_key] = (
+                    host_coupling * host_matrix
+                    + self.trojan_probe_coupling(dut) * trojan_matrix,
+                    host_coupling,
+                )
+            coupled[:, column], host_couplings[column] = \
+                coupled_by_design[design_key]
+
+        gains = np.stack(
+            [self.die_cycle_gains(dut, num_cycles) for dut in duts]
+        )
+        base_gains = np.array([dut.em_gain() for dut in duts])
+        offsets = np.array([dut.em_offset() for dut in duts])
+
+        amplitudes = (gains[None, :, :] * config.activity_to_amplitude
+                      * coupled)
+        signal = np.zeros((num_plaintexts, num_duts, total_samples))
+        cycle_offsets: List[int] = []
+        for cycle in range(num_cycles):
+            offset = (config.pre_trigger_cycles + cycle) * samples_per_cycle
+            cycle_offsets.append(offset)
+            end = min(total_samples, offset + kernel.size)
+            signal[:, :, offset:end] += (amplitudes[:, :, cycle, None]
+                                         * kernel[None, None, : end - offset])
+
+        idle_cycles = list(range(config.pre_trigger_cycles)) + [
+            config.pre_trigger_cycles + num_cycles + cycle
+            for cycle in range(config.post_trigger_cycles)
+        ]
+        idle_amplitudes = (base_gains * config.activity_to_amplitude
+                           * host_couplings * config.baseline_activity)
+        for cycle_index in idle_cycles:
+            offset = cycle_index * samples_per_cycle
+            end = min(total_samples, offset + kernel.size)
+            signal[:, :, offset:end] += (idle_amplitudes[None, :, None]
+                                         * kernel[None, None, : end - offset])
+
+        signal = config.amplifier.amplify(signal) + offsets[None, :, None]
+        return signal, cycle_offsets
+
+    def acquire_many_batch(self, duts: Sequence[DeviceUnderTest],
+                           plaintexts: Sequence[bytes], key: bytes,
+                           rngs: Union[np.random.Generator,
+                                       Sequence[np.random.Generator]],
+                           new_setup_installation: bool = False
+                           ) -> List[List[EMTrace]]:
+        """Acquire the whole (plaintext x DUT) grid in one vectorised pass.
+
+        Returns one list per DUT (``result[d][p]``), bit-identical to
+        calling the serial :meth:`acquire_many` per DUT.
+
+        Parameters
+        ----------
+        rngs:
+            Either one generator per DUT (each die keeps its own noise
+            stream, consumed across the plaintexts in order) or a single
+            shared generator consumed DUT-major / plaintext-minor — both
+            conventions reproduce ``[acquire_many(dut, plaintexts, key,
+            rng) for dut in duts]`` exactly.
+        new_setup_installation:
+            Applied to every acquisition of the grid (the population
+            campaigns re-install the setup for every trace).
+        """
+        if isinstance(rngs, np.random.Generator):
+            rng_list: Sequence[np.random.Generator] = [rngs] * len(duts)
+        else:
+            rng_list = list(rngs)
+        if len(rng_list) != len(duts):
+            raise ValueError(
+                f"got {len(rng_list)} generators for {len(duts)} DUTs"
+            )
+        if not plaintexts:
+            return [[] for _ in duts]
+        if not duts:
+            return []
+        config = self.config
+        signal, cycle_offsets = self.batch_noiseless_traces_many(
+            duts, plaintexts, key
+        )
+        sigma = config.oscilloscope.effective_noise_sigma(
+            config.noise.sigma_single_shot
+        )
+        num_plaintexts = len(plaintexts)
+        for column, rng in enumerate(rng_list):
+            for row in range(num_plaintexts):
+                trace = signal[row, column]
+                if new_setup_installation:
+                    gain, offset = config.noise.sample_setup_perturbation(rng)
+                    trace = trace * gain + offset
+                if sigma > 0:
+                    trace = trace + rng.normal(0.0, sigma, size=trace.shape)
+                signal[row, column] = trace
+        if config.quantise:
+            signal = config.oscilloscope.quantise(
+                signal, lsb=config.oscilloscope.effective_lsb()
+            )
+        sample_period_ns = 1.0 / config.oscilloscope.sample_rate_gsps
+        return [
+            [
+                EMTrace(
+                    samples=signal[row, column].copy(),
+                    label=dut.label,
+                    plaintext=bytes(plaintexts[row]),
+                    sample_period_ns=sample_period_ns,
+                    cycle_sample_offsets=list(cycle_offsets),
+                )
+                for row in range(num_plaintexts)
+            ]
+            for column, dut in enumerate(duts)
+        ]

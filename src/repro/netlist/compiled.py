@@ -389,15 +389,21 @@ class CompiledNetlist:
         cell input pins changed value — the quantities
         :meth:`~repro.trojan.base.HardwareTrojan._netlist_toggle_counts`
         derives from two interpreted evaluations.
+
+        A ``(num_groups, num_states, num_nets)`` tensor counts every
+        group independently along its own state axis (no toggles are
+        counted across group boundaries) and returns
+        ``(num_groups, num_states - 1)`` arrays — one batched pass for
+        e.g. every encryption of a stimulus sweep.
         """
-        if values.ndim != 2 or values.shape[1] != self.num_nets:
+        if values.ndim not in (2, 3) or values.shape[-1] != self.num_nets:
             raise NetlistError(
-                f"values must be (states x {self.num_nets}), got "
-                f"{values.shape}"
+                f"values must be (states x {self.num_nets}) or "
+                f"(groups x states x {self.num_nets}), got {values.shape}"
             )
-        toggles = values[1:] != values[:-1]
-        output_toggles = toggles[:, self.all_output_columns].sum(axis=1)
-        pin_toggles = toggles[:, self.all_pin_columns].sum(axis=1)
+        toggles = values[..., 1:, :] != values[..., :-1, :]
+        output_toggles = toggles[..., self.all_output_columns].sum(axis=-1)
+        pin_toggles = toggles[..., self.all_pin_columns].sum(axis=-1)
         return output_toggles.astype(np.int64), pin_toggles.astype(np.int64)
 
 

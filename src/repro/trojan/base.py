@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..crypto.state import BLOCK_BITS, validate_block
+import numpy as np
+
+from ..crypto.state import BLOCK_BITS, BLOCK_BYTES, validate_block
 from ..netlist.netlist import Netlist
 
 
@@ -165,6 +167,53 @@ class HardwareTrojan:
         """
         return self.encryption_activity_interpreted(round_states,
                                                     encryption_index)
+
+    def encryption_activity_counts(self, round_states: "object",
+                                   encryption_indices: Optional[Sequence[int]]
+                                   = None
+                                   ) -> "tuple[object, object]":
+        """Toggle counts of a whole *batch* of encryptions at once.
+
+        ``round_states`` is the ``(num_encryptions, num_cycles + 1, 16)``
+        uint8 register-state tensor of
+        :func:`repro.crypto.batch.encrypt_round_states` (row 0 the
+        register load); ``encryption_indices`` gives each row's position
+        in the acquisition campaign (defaults to ``0..N-1``).  Returns
+        ``(output_toggles, input_pin_toggles)`` int64 matrices of shape
+        ``(num_encryptions, num_cycles)``.
+
+        The default implementation loops :meth:`encryption_activity`
+        per encryption and is the reference the vectorised overrides in
+        :mod:`repro.trojan.combinational` and
+        :mod:`repro.trojan.sequential` are tested against.
+        """
+        states = np.ascontiguousarray(round_states, dtype=np.uint8)
+        if states.ndim != 3 or states.shape[2] != BLOCK_BYTES:
+            raise ValueError(
+                f"round_states must be (N, cycles + 1, {BLOCK_BYTES}), got "
+                f"{states.shape}"
+            )
+        num_encryptions = states.shape[0]
+        num_cycles = max(0, states.shape[1] - 1)
+        if encryption_indices is None:
+            encryption_indices = range(num_encryptions)
+        indices = list(encryption_indices)
+        if len(indices) != num_encryptions:
+            raise ValueError(
+                f"got {len(indices)} encryption indices for "
+                f"{num_encryptions} encryptions"
+            )
+        output_toggles = np.zeros((num_encryptions, num_cycles),
+                                  dtype=np.int64)
+        pin_toggles = np.zeros((num_encryptions, num_cycles), dtype=np.int64)
+        for row in range(num_encryptions):
+            activities = self.encryption_activity(
+                [bytes(state) for state in states[row]],
+                encryption_index=indices[row],
+            )
+            output_toggles[row] = [a.output_toggles for a in activities]
+            pin_toggles[row] = [a.input_pin_toggles for a in activities]
+        return output_toggles, pin_toggles
 
     def encryption_activity_interpreted(self, round_states: Sequence[bytes],
                                         encryption_index: int = 0

@@ -141,6 +141,46 @@ class CombinationalTrojan(HardwareTrojan):
         )
         return self._batched_toggle_counts(values)
 
+    def encryption_activity_counts(self, round_states, encryption_indices=None):
+        """Whole stimulus batches in one compiled-kernel evaluation.
+
+        Every register state of every encryption becomes one row of a
+        single ``evaluate_batch`` call; toggle counts are taken between
+        consecutive rows *within* each encryption (the trigger tree is
+        purely combinational, so nothing depends on
+        ``encryption_indices``).  Matches the per-encryption reference
+        loop of :meth:`HardwareTrojan.encryption_activity_counts`
+        exactly.
+        """
+        states = np.ascontiguousarray(round_states, dtype=np.uint8)
+        if states.ndim != 3 or states.shape[2] != BLOCK_BITS // 8:
+            raise ValueError(
+                f"round_states must be (N, cycles + 1, {BLOCK_BITS // 8}), "
+                f"got {states.shape}"
+            )
+        num_encryptions, num_rows = states.shape[0], states.shape[1]
+        if encryption_indices is not None:
+            num_indices = len(list(encryption_indices))
+            if num_indices != num_encryptions:
+                raise ValueError(
+                    f"got {num_indices} encryption indices for "
+                    f"{num_encryptions} encryptions"
+                )
+        if num_encryptions == 0 or num_rows < 2:
+            shape = (num_encryptions, max(0, num_rows - 1))
+            return (np.zeros(shape, dtype=np.int64),
+                    np.zeros(shape, dtype=np.int64))
+        state_bits = np.unpackbits(
+            states.reshape(num_encryptions * num_rows, -1), axis=1
+        )
+        compiled = self.netlist.compiled()
+        values = compiled.evaluate_batch(
+            state_bits[:, self.scanned_bits], input_nets=self.tap_input_nets
+        )
+        return compiled.toggle_counts(
+            values.reshape(num_encryptions, num_rows, -1)
+        )
+
 
 def build_combinational_trojan(name: str, trigger_width: int,
                                payload_luts: int = 0,

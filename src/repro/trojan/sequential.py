@@ -181,6 +181,63 @@ class SequentialTrojan(HardwareTrojan):
         )[0]
         return activities
 
+    def encryption_activity_counts(self, round_states, encryption_indices=None):
+        """Counter toggles for a whole batch of encryptions at once.
+
+        Only the increment cycle of each encryption toggles anything and
+        the toggle pattern depends solely on the encryption index, so
+        every *distinct* counter value appearing in the batch is
+        evaluated once through the compiled kernel and the per-
+        encryption counts are gathered from that table.  Matches the
+        per-encryption reference loop exactly.
+        """
+        states = np.ascontiguousarray(round_states, dtype=np.uint8)
+        if states.ndim != 3:
+            raise ValueError(
+                f"round_states must be a (N, cycles + 1, 16) tensor, got "
+                f"{states.shape}"
+            )
+        num_encryptions = states.shape[0]
+        num_cycles = max(0, states.shape[1] - 1)
+        output_toggles = np.zeros((num_encryptions, num_cycles),
+                                  dtype=np.int64)
+        pin_toggles = np.zeros((num_encryptions, num_cycles), dtype=np.int64)
+        if (num_encryptions == 0
+                or not 1 <= self.increment_round <= num_cycles):
+            return output_toggles, pin_toggles
+        if encryption_indices is None:
+            indices = np.arange(num_encryptions, dtype=np.int64)
+        else:
+            indices = np.asarray(list(encryption_indices), dtype=np.int64)
+            if indices.size != num_encryptions:
+                raise ValueError(
+                    f"got {indices.size} encryption indices for "
+                    f"{num_encryptions} encryptions"
+                )
+        counter_values = np.unique(np.concatenate([indices, indices + 1]))
+        mask = (1 << self.counter_width) - 1
+        register_nets = [f"cnt_q{bit}" for bit in range(self.counter_width)]
+        register_rows = (
+            ((counter_values[:, None] & mask)
+             >> np.arange(self.counter_width)[None, :]) & 1
+        ).astype(np.uint8)
+        compiled = self.netlist.compiled()
+        values = compiled.evaluate_batch(
+            np.zeros((counter_values.size, 1), dtype=np.uint8),
+            input_nets=["inc"],
+            register_rows=register_rows, register_nets=register_nets,
+        )
+        before = np.searchsorted(counter_values, indices)
+        after = np.searchsorted(counter_values, indices + 1)
+        toggles = values[after] != values[before]
+        output_toggles[:, self.increment_round - 1] = (
+            toggles[:, compiled.all_output_columns].sum(axis=1)
+        )
+        pin_toggles[:, self.increment_round - 1] = (
+            toggles[:, compiled.all_pin_columns].sum(axis=1)
+        )
+        return output_toggles, pin_toggles
+
 
 def build_sequential_trojan(name: str = "HT_seq", counter_width: int = 32,
                             payload_luts: int = 0) -> SequentialTrojan:

@@ -1,10 +1,10 @@
 """Equivalence of the batched acquisition paths with the serial loops.
 
-``EMSimulator.acquire_batch`` and ``PathDelayMeter.measure_batch`` are
-pure performance refactors: for every trojan in the catalog (and the
-golden design) they must reproduce the per-DUT serial results within
-float tolerance — in fact bit-for-bit, which is what most of these
-assertions check.
+``EMSimulator.acquire_batch``/``acquire_many_batch`` and
+``PathDelayMeter.measure_batch`` are pure performance refactors: for
+every trojan in the catalog (and the golden design) they must reproduce
+the per-DUT serial results within float tolerance — in fact
+bit-for-bit, which is what most of these assertions check.
 """
 
 from __future__ import annotations
@@ -13,12 +13,16 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import HTDetectionPlatform, PlatformConfig
+from repro.crypto.batch import encrypt_round_states
 from repro.measurement.delay_meter import DelayMeasurementConfig, generate_pk_pairs
-from repro.trojan.library import available_trojans
+from repro.stimulus import random_plaintexts
+from repro.trojan.base import HardwareTrojan
+from repro.trojan.library import available_trojans, build_trojan
 
 NUM_DIES = 3
 PLAINTEXT = bytes(range(16))
 KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+STIMULI = random_plaintexts(4, seed=91)
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +113,107 @@ def test_population_acquisition_matches_serial_reference(batch_platform):
             assert np.array_equal(serial_trace.samples, batch_trace.samples)
 
 
+@pytest.mark.parametrize("trojan_name", [None] + available_trojans())
+def test_acquire_many_batch_matches_serial_acquire_many(batch_platform,
+                                                        trojan_name):
+    """The whole-stimulus tensor path equals the per-plaintext loop."""
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, trojan_name)
+    serial = [
+        simulator.acquire_many(dut, STIMULI, KEY,
+                               np.random.default_rng(300 + die),
+                               new_setup_installation=True)
+        for die, dut in enumerate(duts)
+    ]
+    simulator.clear_caches()
+    batch = simulator.acquire_many_batch(
+        duts, STIMULI, KEY,
+        [np.random.default_rng(300 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    for serial_list, batch_list in zip(serial, batch):
+        assert len(serial_list) == len(batch_list) == len(STIMULI)
+        for serial_trace, batch_trace in zip(serial_list, batch_list):
+            assert serial_trace.plaintext == batch_trace.plaintext
+            assert serial_trace.cycle_sample_offsets == \
+                batch_trace.cycle_sample_offsets
+            assert np.array_equal(serial_trace.samples, batch_trace.samples)
+
+
+def test_acquire_many_batch_with_shared_generator_matches(batch_platform):
+    """A shared generator is consumed DUT-major, like the nested loop."""
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, "HT2")
+    rng_serial = np.random.default_rng(17)
+    serial = [simulator.acquire_many(dut, STIMULI, KEY, rng_serial)
+              for dut in duts]
+    simulator.clear_caches()
+    batch = simulator.acquire_many_batch(duts, STIMULI, KEY,
+                                         np.random.default_rng(17))
+    for serial_list, batch_list in zip(serial, batch):
+        for serial_trace, batch_trace in zip(serial_list, batch_list):
+            assert np.array_equal(serial_trace.samples, batch_trace.samples)
+
+
+def test_population_stimuli_acquisition_matches_serial(batch_platform):
+    trojans = ("HT1", "HT_seq")
+    golden_serial, infected_serial = (
+        batch_platform.acquire_population_traces_stimuli_serial(
+            trojans, STIMULI)
+    )
+    batch_platform.em_simulator.clear_caches()
+    golden_batch, infected_batch = (
+        batch_platform.acquire_population_traces_stimuli(trojans, STIMULI)
+    )
+    for serial_list, batch_list in zip(golden_serial, golden_batch):
+        for serial_trace, batch_trace in zip(serial_list, batch_list):
+            assert np.array_equal(serial_trace.samples, batch_trace.samples)
+    for name in trojans:
+        for serial_list, batch_list in zip(infected_serial[name],
+                                           infected_batch[name]):
+            for serial_trace, batch_trace in zip(serial_list, batch_list):
+                assert np.array_equal(serial_trace.samples,
+                                      batch_trace.samples)
+
+
+@pytest.mark.parametrize("trojan_name", available_trojans())
+def test_encryption_activity_counts_match_reference_loop(device,
+                                                         trojan_name):
+    """Vectorised per-trojan overrides equal the per-encryption walk."""
+    trojan = build_trojan(trojan_name, device)
+    states = encrypt_round_states(STIMULI, KEY)
+    indices = [0, 3, 1, 255]
+    reference = HardwareTrojan.encryption_activity_counts(
+        trojan, states, indices
+    )
+    batched = trojan.encryption_activity_counts(states, indices)
+    assert np.array_equal(reference[0], batched[0])
+    assert np.array_equal(reference[1], batched[1])
+
+
+def test_activity_caches_are_bounded_and_clearable(batch_platform):
+    simulator = batch_platform.em_simulator
+    simulator.clear_caches()
+    original = simulator.host_activity_cache_entries
+    try:
+        simulator.host_activity_cache_entries = 8
+        dut = batch_platform.golden_dut(0)
+        plaintexts = random_plaintexts(20, seed=3)
+        simulator.acquire_many_batch(
+            [dut], plaintexts, KEY, [np.random.default_rng(0)]
+        )
+        assert len(simulator._host_activity_cache) <= 8
+        # The most recent insertions survive, the oldest are evicted.
+        assert (bytes(KEY), plaintexts[-1]) in simulator._host_activity_cache
+        assert (bytes(KEY), plaintexts[0]) not in simulator._host_activity_cache
+        simulator.clear_caches()
+        assert not simulator._host_activity_cache
+        assert not simulator._trojan_activity_cache
+    finally:
+        simulator.host_activity_cache_entries = original
+        simulator.clear_caches()
+
+
 def test_delay_measure_batch_matches_per_dut_loop(batch_platform):
     meter = batch_platform.delay_meter
     pairs = generate_pk_pairs(2, seed=11)
@@ -125,6 +230,17 @@ def test_delay_measure_batch_matches_per_dut_loop(batch_platform):
         np.testing.assert_allclose(batch_measurement.steps_matrix(),
                                    serial_measurement.steps_matrix(),
                                    rtol=0, atol=0)
+
+
+def test_pair_transitions_batch_matches_serial(batch_platform):
+    """Batched-cipher attacked-round stimuli equal the scalar walk."""
+    meter = batch_platform.delay_meter
+    dut = batch_platform.golden_dut(0)
+    for pairs in (generate_pk_pairs(4, seed=21),
+                  generate_pk_pairs(3, seed=22, fixed_key=KEY)):
+        serial = [meter.pair_transitions(dut, pair) for pair in pairs]
+        assert meter.pair_transitions_batch(dut, pairs) == serial
+    assert meter.pair_transitions_batch(dut, []) == []
 
 
 def test_delay_measure_batch_self_calibration_matches(batch_platform):
