@@ -12,7 +12,9 @@ The package is organised as:
 * :mod:`repro.analysis` — traces, local maxima, Gaussian statistics,
 * :mod:`repro.core` — the detection methods and the end-to-end platform,
 * :mod:`repro.experiments` — one driver per paper figure/table,
-* :mod:`repro.io` — trace and result persistence.
+* :mod:`repro.campaigns` — declarative batched scenario sweeps,
+* :mod:`repro.io` — trace and result persistence,
+* :mod:`repro.store` — content-addressed artifacts (sharding/resume).
 
 Quick start::
 

@@ -16,6 +16,7 @@ from .engine import (
     build_delay_scorer,
     build_metric,
     format_campaign_rows,
+    merge_campaign_results,
     run_campaign,
     run_population_em_study,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "build_delay_scorer",
     "build_metric",
     "format_campaign_rows",
+    "merge_campaign_results",
     "run_campaign",
     "run_population_em_study",
 ]

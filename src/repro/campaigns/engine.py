@@ -22,7 +22,17 @@ cell:
   the compiled timing kernel: one
   :meth:`~repro.measurement.delay_meter.PathDelayMeter.measure_batch`
   call covers every (pair, device) combination, and cells differing
-  only in metric re-score the cached Eq. (4) difference matrices.
+  only in metric re-score the cached Eq. (4) difference matrices;
+* **content-addressed persistence** — with a
+  :class:`~repro.store.ArtifactStore` attached, the acquisition/delay
+  caches, the infected-design summaries and every finished cell's rows
+  *read through* the store: a rerun (same spec fragment, any campaign
+  name, any host) loads instead of recomputing, an interrupted run
+  resumes with only the missing cells, and
+  :meth:`CampaignSpec.shard`-ed runs on separate processes or hosts
+  share artifacts and are fused back with
+  :func:`merge_campaign_results` into a result row-for-row identical to
+  an unsharded run.
 
 The paper's Sec. V study itself lives in
 :func:`repro.core.pipeline.run_population_em_study` (re-exported here);
@@ -32,6 +42,7 @@ over that one implementation.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -65,7 +76,22 @@ from ..measurement.delay_meter import (
     generate_pk_pairs,
 )
 from ..measurement.em_simulator import EMTrace
-from ..trojan.insertion import InfectedDesign
+from ..store import (
+    DEFAULT_GOLDEN_SIGNATURE,
+    ArtifactStore,
+    cell_result_key,
+    delay_differences_key,
+    golden_signature,
+    infected_summary_key,
+    pack_delay_differences,
+    pack_population_traces,
+    population_traces_key,
+    spec_content_fragment,
+    unpack_delay_differences,
+    unpack_population_traces,
+)
+from ..trojan.insertion import InfectedDesign, insert_trojan
+from ..trojan.library import build_trojan
 from .spec import CampaignSpec, GridCell
 
 PathLike = Union[str, Path]
@@ -146,6 +172,11 @@ class CampaignRow:
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignRow":
+        return cls(**{field.name: payload[field.name]
+                      for field in dataclasses.fields(cls)})
+
 
 @dataclass
 class CampaignCellResult:
@@ -164,14 +195,48 @@ class CampaignCellResult:
     def false_negative_rates(self) -> Dict[str, float]:
         return {row.trojan: row.false_negative_rate for row in self.rows}
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "num_dies": self.num_dies,
+            "variant": self.variant,
+            "metric": self.metric,
+            "golden_score_mean": self.golden_score_mean,
+            "golden_score_std": self.golden_score_std,
+            "elapsed_s": self.elapsed_s,
+            "trace_archive": self.trace_archive,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignCellResult":
+        return cls(
+            index=payload["index"],
+            num_dies=payload["num_dies"],
+            variant=payload["variant"],
+            metric=payload["metric"],
+            rows=[CampaignRow.from_dict(row) for row in payload["rows"]],
+            golden_score_mean=payload["golden_score_mean"],
+            golden_score_std=payload["golden_score_std"],
+            elapsed_s=payload["elapsed_s"],
+            trace_archive=payload.get("trace_archive"),
+        )
+
 
 @dataclass
 class CampaignResult:
-    """All cells of one campaign run, plus reporting helpers."""
+    """All cells of one campaign run, plus reporting helpers.
+
+    A sharded run carries only its shard's cells (with their *global*
+    grid indices) and records the ``(index, count)`` pair; shard results
+    are fused back into a full-grid result with
+    :func:`merge_campaign_results`.
+    """
 
     spec: CampaignSpec
     cells: List[CampaignCellResult]
     elapsed_s: float = 0.0
+    shard: Optional[Tuple[int, int]] = None
 
     def rows(self) -> List[CampaignRow]:
         return [row for cell in self.cells for row in cell.rows]
@@ -183,21 +248,20 @@ class CampaignResult:
         return {
             "spec": self.spec.to_dict(),
             "elapsed_s": self.elapsed_s,
-            "cells": [
-                {
-                    "index": cell.index,
-                    "num_dies": cell.num_dies,
-                    "variant": cell.variant,
-                    "metric": cell.metric,
-                    "golden_score_mean": cell.golden_score_mean,
-                    "golden_score_std": cell.golden_score_std,
-                    "elapsed_s": cell.elapsed_s,
-                    "trace_archive": cell.trace_archive,
-                    "rows": [row.to_dict() for row in cell.rows],
-                }
-                for cell in self.cells
-            ],
+            "shard": list(self.shard) if self.shard is not None else None,
+            "cells": [cell.to_dict() for cell in self.cells],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignResult":
+        shard = payload.get("shard")
+        return cls(
+            spec=CampaignSpec.from_dict(payload["spec"]),
+            cells=[CampaignCellResult.from_dict(cell)
+                   for cell in payload["cells"]],
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            shard=tuple(shard) if shard is not None else None,
+        )
 
     def save(self, directory: PathLike) -> Path:
         """Persist the summary (JSON + CSV) under ``directory``.
@@ -233,14 +297,31 @@ def format_campaign_rows(rows: Sequence[Mapping[str, Any]]) -> str:
 
 
 class CampaignEngine:
-    """Executes a campaign grid with shared caches and batched acquisition."""
+    """Executes a campaign grid with shared caches and batched acquisition.
+
+    ``store`` (an :class:`~repro.store.ArtifactStore` or a directory
+    path) makes every cache *read through* content-addressed on-disk
+    artifacts and records per-cell completion, enabling warm reruns,
+    resume after interruption, and sharded multi-process/host campaigns.
+    """
 
     def __init__(self, spec: CampaignSpec,
                  device: Optional[FPGADevice] = None,
-                 golden: Optional[GoldenDesign] = None):
+                 golden: Optional[GoldenDesign] = None,
+                 store: Optional[Union[ArtifactStore, PathLike]] = None):
         self.spec = spec
         self.device = device or virtex5_lx30()
-        self.golden = golden or GoldenDesign.build(device=self.device)
+        # The golden design is built lazily: a fully warm store-backed
+        # run needs no design at all, so it must not pay for synthesis.
+        self._golden: Optional[GoldenDesign] = golden
+        self._golden_signature: Any = (
+            DEFAULT_GOLDEN_SIGNATURE if golden is None
+            else golden_signature(golden)
+        )
+        if store is None or isinstance(store, ArtifactStore):
+            self.store: Optional[ArtifactStore] = store
+        else:
+            self.store = ArtifactStore(store)
         #: Trojan insertion cache shared by every platform of the grid.
         self._infected_cache: Dict[str, InfectedDesign] = {}
         self._platform_cache: Dict[Tuple[int, str], HTDetectionPlatform] = {}
@@ -251,10 +332,66 @@ class CampaignEngine:
         #: bench is not affected by the EM acquisition variant, so cells
         #: that differ only in variant or metric share one measurement).
         self._delay_cache: Dict[int, "_DelayStudyData"] = {}
+        self._area_fraction_cache: Dict[str, float] = {}
         self._artifact_dir: Optional[Path] = None
         self._saved_archives: Dict[Tuple[int, str], str] = {}
+        #: Grid indices of the cells the current ``run`` invocation
+        #: covers (``None`` outside ``run`` = the whole grid); sharded
+        #: runs use it to decide trace-archive ownership among the
+        #: cells actually present.
+        self._active_indices: Optional[frozenset] = None
+
+    @property
+    def golden(self) -> GoldenDesign:
+        """The golden design (built on first use)."""
+        if self._golden is None:
+            self._golden = GoldenDesign.build(device=self.device)
+        return self._golden
 
     # -- caches -------------------------------------------------------------------
+
+    def infected_design(self, trojan_name: str) -> InfectedDesign:
+        """Build (and cache) the infected design for a catalog trojan.
+
+        Same contract as
+        :meth:`~repro.core.pipeline.HTDetectionPlatform.infected_design`;
+        the cache dict is shared with every platform of the grid.
+        """
+        if trojan_name not in self._infected_cache:
+            trojan = build_trojan(trojan_name, self.device)
+            self._infected_cache[trojan_name] = insert_trojan(self.golden,
+                                                              trojan)
+        return self._infected_cache[trojan_name]
+
+    def trojan_area_fraction(self, trojan_name: str) -> float:
+        """The trojan's area as a fraction of the AES design.
+
+        Reads through the store: a warm run prints its ``% of AES``
+        column without paying for golden synthesis and trojan insertion.
+        """
+        if trojan_name in self._area_fraction_cache:
+            return self._area_fraction_cache[trojan_name]
+        store_key = None
+        if self.store is not None:
+            store_key = infected_summary_key(
+                device=self.device, golden=self._golden_signature,
+                trojan=trojan_name,
+            )
+            if store_key in self.store:
+                payload = self.store.get_json(store_key)
+                fraction = float(payload["area_fraction_of_aes"])
+                self._area_fraction_cache[trojan_name] = fraction
+                return fraction
+        fraction = float(self.infected_design(trojan_name)
+                         .area_fraction_of_aes())
+        if store_key is not None:
+            self.store.put_json(
+                store_key,
+                {"trojan": trojan_name, "area_fraction_of_aes": fraction},
+                kind="infected_summary", meta={"trojan": trojan_name},
+            )
+        self._area_fraction_cache[trojan_name] = fraction
+        return fraction
 
     def platform_for(self, cell: GridCell) -> HTDetectionPlatform:
         """The (cached) detection platform of one grid cell.
@@ -295,25 +432,50 @@ class CampaignEngine:
         trace.
         """
         cache_key = cell.acquisition_key
-        if cache_key not in self._acquisition_cache:
-            platform = self.platform_for(cell)
-            plaintexts = self.spec.stimulus_plaintexts()
-            if len(plaintexts) == 1:
-                self._acquisition_cache[cache_key] = \
-                    platform.acquire_population_traces(
-                        self.spec.trojans, plaintexts[0], self.spec.key
-                    )
-            else:
-                golden_grid, infected_grid = (
-                    platform.acquire_population_traces_stimuli(
-                        self.spec.trojans, plaintexts, self.spec.key
-                    )
+        if cache_key in self._acquisition_cache:
+            return self._acquisition_cache[cache_key]
+        plaintexts = self.spec.stimulus_plaintexts()
+        store_key = None
+        if self.store is not None:
+            store_key = population_traces_key(
+                device=self.device, golden=self._golden_signature,
+                em_config=cell.variant.build_em_config(),
+                seed=self.spec.seed, num_dies=cell.num_dies,
+                trojans=self.spec.trojans, key=self.spec.key,
+                plaintexts=plaintexts,
+            )
+            if store_key in self.store:
+                self._acquisition_cache[cache_key] = unpack_population_traces(
+                    self.store.get_arrays(store_key)
                 )
-                self._acquisition_cache[cache_key] = (
-                    average_stimulus_traces(golden_grid),
-                    {name: average_stimulus_traces(infected_grid[name])
-                     for name in self.spec.trojans},
+                return self._acquisition_cache[cache_key]
+        platform = self.platform_for(cell)
+        if len(plaintexts) == 1:
+            self._acquisition_cache[cache_key] = \
+                platform.acquire_population_traces(
+                    self.spec.trojans, plaintexts[0], self.spec.key
                 )
+        else:
+            golden_grid, infected_grid = (
+                platform.acquire_population_traces_stimuli(
+                    self.spec.trojans, plaintexts, self.spec.key
+                )
+            )
+            self._acquisition_cache[cache_key] = (
+                average_stimulus_traces(golden_grid),
+                {name: average_stimulus_traces(infected_grid[name])
+                 for name in self.spec.trojans},
+            )
+        if store_key is not None:
+            golden_traces, infected_traces = self._acquisition_cache[cache_key]
+            self.store.put_arrays(
+                store_key,
+                pack_population_traces(golden_traces, infected_traces),
+                kind="population_traces",
+                meta={"num_dies": cell.num_dies,
+                      "variant": cell.variant.name,
+                      "num_plaintexts": len(plaintexts)},
+            )
         return self._acquisition_cache[cache_key]
 
     def delay_study_data(self, cell: GridCell) -> "_DelayStudyData":
@@ -329,55 +491,86 @@ class CampaignEngine:
         Eq. (4) difference matrices.
         """
         num_dies = cell.num_dies
-        if num_dies not in self._delay_cache:
-            spec = self.spec
-            platform = self.platform_for(cell)
-            meter = platform.delay_meter
-            pairs = generate_pk_pairs(spec.num_pk_pairs, seed=spec.seed + 7)
-
-            golden_dut = platform.golden_dut(0, label="GM")
-            fingerprint_measurement = meter.measure_batch(
-                [golden_dut], pairs, None, seeds=[spec.seed]
-            )[0]
-            # Per-pair sweeps calibrated on the golden model, reused for
-            # every device so step counts stay comparable (Sec. III-B).
-            glitch = {
-                pair.index: pair_measurement.glitch
-                for pair, pair_measurement in zip(
-                    pairs, fingerprint_measurement.pairs)
-            }
-            detector = DelayDetector(
-                DelayFingerprint.from_measurement(fingerprint_measurement)
+        if num_dies in self._delay_cache:
+            return self._delay_cache[num_dies]
+        store_key = None
+        if self.store is not None:
+            store_key = delay_differences_key(
+                device=self.device, golden=self._golden_signature,
+                delay_config=DelayMeasurementConfig(
+                    repetitions=self.spec.delay_repetitions,
+                    seed=self.spec.seed,
+                ),
+                seed=self.spec.seed, num_dies=num_dies,
+                trojans=self.spec.trojans,
+                num_pk_pairs=self.spec.num_pk_pairs,
             )
+            if store_key in self.store:
+                golden_differences, infected_differences = (
+                    unpack_delay_differences(self.store.get_arrays(store_key))
+                )
+                self._delay_cache[num_dies] = _DelayStudyData(
+                    golden_differences=golden_differences,
+                    infected_differences=infected_differences,
+                )
+                return self._delay_cache[num_dies]
+        spec = self.spec
+        platform = self.platform_for(cell)
+        meter = platform.delay_meter
+        pairs = generate_pk_pairs(spec.num_pk_pairs, seed=spec.seed + 7)
 
-            duts = []
+        golden_dut = platform.golden_dut(0, label="GM")
+        fingerprint_measurement = meter.measure_batch(
+            [golden_dut], pairs, None, seeds=[spec.seed]
+        )[0]
+        # Per-pair sweeps calibrated on the golden model, reused for
+        # every device so step counts stay comparable (Sec. III-B).
+        glitch = {
+            pair.index: pair_measurement.glitch
+            for pair, pair_measurement in zip(
+                pairs, fingerprint_measurement.pairs)
+        }
+        detector = DelayDetector(
+            DelayFingerprint.from_measurement(fingerprint_measurement)
+        )
+
+        duts = []
+        for die_index in range(num_dies):
+            duts.append(platform.golden_dut(die_index,
+                                            label=f"Clean_die{die_index}"))
+        for name in spec.trojans:
             for die_index in range(num_dies):
-                duts.append(platform.golden_dut(die_index,
-                                                label=f"Clean_die{die_index}"))
-            for name in spec.trojans:
-                for die_index in range(num_dies):
-                    duts.append(platform.infected_dut(name, die_index))
-            # One seed per device position: injective for any population
-            # size, so no two devices ever share a noise stream.
-            seeds = [spec.seed + 100 + position
-                     for position in range(len(duts))]
-            measurements = meter.measure_batch(duts, pairs, glitch,
-                                               seeds=seeds)
+                duts.append(platform.infected_dut(name, die_index))
+        # One seed per device position: injective for any population
+        # size, so no two devices ever share a noise stream.
+        seeds = [spec.seed + 100 + position
+                 for position in range(len(duts))]
+        measurements = meter.measure_batch(duts, pairs, glitch,
+                                           seeds=seeds)
 
-            golden_differences = [
+        golden_differences = [
+            detector.difference_ps(measurement)
+            for measurement in measurements[:num_dies]
+        ]
+        infected_differences: Dict[str, List[np.ndarray]] = {}
+        for trojan_index, name in enumerate(spec.trojans):
+            begin = num_dies * (1 + trojan_index)
+            infected_differences[name] = [
                 detector.difference_ps(measurement)
-                for measurement in measurements[:num_dies]
+                for measurement in measurements[begin:begin + num_dies]
             ]
-            infected_differences: Dict[str, List[np.ndarray]] = {}
-            for trojan_index, name in enumerate(spec.trojans):
-                begin = num_dies * (1 + trojan_index)
-                infected_differences[name] = [
-                    detector.difference_ps(measurement)
-                    for measurement in measurements[begin:begin + num_dies]
-                ]
-            self._delay_cache[num_dies] = _DelayStudyData(
-                golden_differences=golden_differences,
-                infected_differences=infected_differences,
+        self._delay_cache[num_dies] = _DelayStudyData(
+            golden_differences=golden_differences,
+            infected_differences=infected_differences,
+        )
+        if store_key is not None:
+            self.store.put_arrays(
+                store_key,
+                pack_delay_differences(golden_differences,
+                                       infected_differences),
+                kind="delay_differences",
+                meta={"num_dies": num_dies,
+                      "num_pk_pairs": self.spec.num_pk_pairs},
             )
         return self._delay_cache[num_dies]
 
@@ -399,7 +592,6 @@ class CampaignEngine:
         false-negative rate.
         """
         start = time.perf_counter()
-        platform = self.platform_for(cell)
         data = self.delay_study_data(cell)
         scorer = build_delay_scorer(cell.metric)
         genuine_scores = np.array([scorer(differences)
@@ -423,8 +615,7 @@ class CampaignEngine:
                 variant=cell.variant.name,
                 metric=cell.metric,
                 trojan=name,
-                area_fraction=platform.infected_design(name)
-                .area_fraction_of_aes(),
+                area_fraction=self.trojan_area_fraction(name),
                 mu=mu,
                 sigma=sigma,
                 false_negative_rate=fn_rate,
@@ -444,13 +635,14 @@ class CampaignEngine:
     def _run_em_cell(self, cell: GridCell) -> CampaignCellResult:
         """Execute one EM grid cell: acquire (or reuse) traces, score, decide."""
         start = time.perf_counter()
-        platform = self.platform_for(cell)
         golden_traces, infected_traces = self.acquire_cell_traces(cell)
         study = run_population_em_study(
-            platform,
+            None,
             trojan_names=self.spec.trojans,
             metric=build_metric(cell.metric),
             traces=(golden_traces, infected_traces),
+            area_fractions={name: self.trojan_area_fraction(name)
+                            for name in self.spec.trojans},
         )
         golden_fit = study.characterisations[self.spec.trojans[0]].genuine
         rows = [
@@ -496,10 +688,14 @@ class CampaignEngine:
             return None
         cache_key = cell.acquisition_key
         # Delay cells acquire no EM traces, so ownership is decided
-        # among the EM cells of the acquisition key only.
+        # among the EM cells of the acquisition key only — and, in a
+        # sharded run, among the cells this invocation actually covers
+        # (the full-grid owner may live in another shard).
         owner = min(other.index for other in self.spec.grid()
                     if other.acquisition_key == cache_key
-                    and not other.is_delay)
+                    and not other.is_delay
+                    and (self._active_indices is None
+                         or other.index in self._active_indices))
         archive = (self._artifact_dir
                    / f"traces_d{cell.num_dies}_{cell.variant.name}.npz")
         if cell.index == owner and cache_key not in self._saved_archives:
@@ -510,8 +706,47 @@ class CampaignEngine:
             self._saved_archives[cache_key] = str(archive)
         return str(archive)
 
-    def run(self, artifact_dir: Optional[PathLike] = None) -> CampaignResult:
-        """Execute the whole grid (serial or over a process pool)."""
+    # -- per-cell completion records ----------------------------------------------
+
+    def _cell_result_store_key(self, cell: GridCell) -> Optional[str]:
+        if self.store is None:
+            return None
+        return cell_result_key(
+            device=self.device, golden=self._golden_signature,
+            spec_payload=spec_content_fragment(self.spec.to_dict()),
+            cell_index=cell.index,
+        )
+
+    def load_cell_result(self, cell: GridCell) -> Optional[CampaignCellResult]:
+        """The cell's completion record, if a previous run stored one."""
+        store_key = self._cell_result_store_key(cell)
+        if store_key is None or store_key not in self.store:
+            return None
+        return CampaignCellResult.from_dict(self.store.get_json(store_key))
+
+    def record_cell_result(self, cell: GridCell,
+                           result: CampaignCellResult) -> None:
+        """Record the cell as complete in the store manifest."""
+        store_key = self._cell_result_store_key(cell)
+        if store_key is None:
+            return
+        self.store.put_json(
+            store_key, result.to_dict(), kind="campaign_cell",
+            meta={"campaign": self.spec.name, "cell_index": cell.index,
+                  "num_dies": cell.num_dies, "variant": cell.variant.name,
+                  "metric": cell.metric},
+        )
+
+    def run(self, artifact_dir: Optional[PathLike] = None,
+            shard: Optional[Tuple[int, int]] = None) -> CampaignResult:
+        """Execute the grid — or one ``(index, count)`` shard of it.
+
+        With a store attached, cells whose completion record is already
+        in the manifest are *loaded* instead of recomputed — an
+        interrupted (or partially sharded) run resumes with only the
+        missing cells — and every freshly computed cell is recorded the
+        moment it finishes, so progress survives the next interruption.
+        """
         start = time.perf_counter()
         self._artifact_dir = None if artifact_dir is None else Path(artifact_dir)
         self._saved_archives.clear()
@@ -522,15 +757,41 @@ class CampaignEngine:
                 "spec.save_traces requires an artifact_dir to write the "
                 "trace archives to"
             )
-        cells = self.spec.grid()
-        if self.spec.workers <= 1 or len(cells) <= 1:
-            results = [self.run_cell(cell) for cell in cells]
+        if shard is None:
+            cells = self.spec.grid()
         else:
-            results = self._run_parallel(cells)
+            shard = (int(shard[0]), int(shard[1]))
+            cells = self.spec.shard(*shard)
+        try:
+            completed: Dict[int, CampaignCellResult] = {}
+            pending: List[GridCell] = []
+            for cell in cells:
+                loaded = self.load_cell_result(cell)
+                if loaded is not None:
+                    completed[cell.index] = loaded
+                else:
+                    pending.append(cell)
+            # Trace-archive ownership is decided among the cells that
+            # *execute* this invocation: store-resumed cells never run,
+            # so a full-grid (or even in-shard) owner that resolved from
+            # the manifest must not leave the archive unwritten.
+            self._active_indices = frozenset(cell.index for cell in pending)
+            if self.spec.workers <= 1 or len(pending) <= 1:
+                for cell in pending:
+                    cell_result = self.run_cell(cell)
+                    self.record_cell_result(cell, cell_result)
+                    completed[cell.index] = cell_result
+            else:
+                for cell_result in self._run_parallel(pending):
+                    completed[cell_result.index] = cell_result
+            ordered = [completed[cell.index] for cell in cells]
+        finally:
+            self._active_indices = None
         result = CampaignResult(
             spec=self.spec,
-            cells=results,
+            cells=ordered,
             elapsed_s=time.perf_counter() - start,
+            shard=shard,
         )
         if self._artifact_dir is not None:
             result.save(self._artifact_dir)
@@ -541,23 +802,34 @@ class CampaignEngine:
 
         Cells are chunked by acquisition key so a worker reuses its
         acquisition cache across the metrics of one (die count, variant)
-        point instead of re-acquiring per cell.
+        point instead of re-acquiring per cell.  Workers share the
+        engine's store (if any): artifacts written by one worker are
+        hits for the others, and each worker records its cells'
+        completion itself so an interrupted pool still leaves every
+        finished cell resumable.
         """
         chunks: Dict[Tuple[int, str], List[int]] = {}
         for cell in cells:
             chunks.setdefault(cell.acquisition_key, []).append(cell.index)
         spec_dict = self.spec.to_dict()
         artifact = str(self._artifact_dir) if self._artifact_dir else None
+        store_root = str(self.store.root) if self.store is not None else None
+        active = (sorted(self._active_indices)
+                  if self._active_indices is not None else None)
         workers = min(self.spec.workers, len(chunks))
         results: Dict[int, CampaignCellResult] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # The engine's device and golden design travel with the
             # payload so workers compute on exactly what this engine was
             # built with (a custom device/golden must not silently fall
-            # back to the defaults).
+            # back to the defaults); the golden *signature* travels too
+            # so worker-written artifacts carry the same content keys as
+            # this engine's.  An unbuilt golden ships as None — workers
+            # build lazily only if their cells actually need a design.
             for chunk_results in pool.map(
                     _run_cells_in_subprocess,
-                    [(spec_dict, indices, artifact, self.device, self.golden)
+                    [(spec_dict, indices, artifact, self.device, self._golden,
+                      store_root, self._golden_signature, active)
                      for indices in chunks.values()]):
                 for cell_result in chunk_results:
                     results[cell_result.index] = cell_result
@@ -566,19 +838,73 @@ class CampaignEngine:
 
 def _run_cells_in_subprocess(payload: Tuple[Dict[str, Any], List[int],
                                             Optional[str], FPGADevice,
-                                            GoldenDesign]
+                                            Optional[GoldenDesign],
+                                            Optional[str], Any,
+                                            Optional[List[int]]]
                              ) -> List[CampaignCellResult]:
     """Worker entry point: rebuild the engine and run a chunk of cells."""
-    spec_dict, indices, artifact_dir, device, golden = payload
+    (spec_dict, indices, artifact_dir, device, golden, store_root,
+     golden_sig, active) = payload
     engine = CampaignEngine(CampaignSpec.from_dict(spec_dict),
-                            device=device, golden=golden)
+                            device=device, golden=golden, store=store_root)
+    engine._golden_signature = golden_sig
     if artifact_dir is not None:
         engine._artifact_dir = Path(artifact_dir)
+    if active is not None:
+        engine._active_indices = frozenset(active)
     grid = engine.spec.grid()
-    return [engine.run_cell(grid[index]) for index in indices]
+    chunk_results: List[CampaignCellResult] = []
+    for index in indices:
+        cell_result = engine.run_cell(grid[index])
+        engine.record_cell_result(grid[index], cell_result)
+        chunk_results.append(cell_result)
+    return chunk_results
+
+
+def merge_campaign_results(results: Sequence[CampaignResult]
+                           ) -> CampaignResult:
+    """Fuse shard results into one full-grid :class:`CampaignResult`.
+
+    All inputs must come from the same campaign physics (equal spec
+    fragments up to execution-only fields — name, workers, trace
+    archiving) and together cover the whole grid.  Cells duplicated
+    across shards are tolerated (the engine is deterministic, so
+    duplicates are identical; the first occurrence wins).  The merged
+    ``elapsed_s`` is the slowest shard — the wall-clock of shards run in
+    parallel.
+    """
+    if not results:
+        raise ValueError("cannot merge zero campaign results")
+    reference = spec_content_fragment(results[0].spec.to_dict())
+    for result in results[1:]:
+        if spec_content_fragment(result.spec.to_dict()) != reference:
+            raise ValueError(
+                "shard results disagree on the campaign spec; refusing to "
+                "merge rows from different physics"
+            )
+    merged_cells: Dict[int, CampaignCellResult] = {}
+    for result in results:
+        for cell in result.cells:
+            merged_cells.setdefault(cell.index, cell)
+    spec = results[0].spec
+    grid = spec.grid()
+    missing = [cell.index for cell in grid
+               if cell.index not in merged_cells]
+    if missing:
+        raise ValueError(
+            f"merged shards do not cover the campaign grid; missing cell "
+            f"indices {missing}"
+        )
+    return CampaignResult(
+        spec=spec,
+        cells=[merged_cells[cell.index] for cell in grid],
+        elapsed_s=max(result.elapsed_s for result in results),
+    )
 
 
 def run_campaign(spec: CampaignSpec,
-                 artifact_dir: Optional[PathLike] = None) -> CampaignResult:
+                 artifact_dir: Optional[PathLike] = None,
+                 store: Optional[Union[ArtifactStore, PathLike]] = None
+                 ) -> CampaignResult:
     """Convenience one-shot: build an engine and run the campaign."""
-    return CampaignEngine(spec).run(artifact_dir=artifact_dir)
+    return CampaignEngine(spec, store=store).run(artifact_dir=artifact_dir)

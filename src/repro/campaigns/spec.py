@@ -256,6 +256,34 @@ class CampaignSpec:
     def num_cells(self) -> int:
         return len(self.grid())
 
+    def shard(self, index: int, count: int) -> List[GridCell]:
+        """Deterministic partition of the grid for multi-process/host runs.
+
+        Cells are dealt round-robin by their *global* grid index
+        (``cell.index % count == index``), so:
+
+        * shards are pairwise **disjoint** and their union is **exactly**
+          :meth:`grid` (every cell lands in one shard);
+        * the partition is **deterministic** — equal specs give equal
+          shards on every host;
+        * cells keep their unsharded indices, so results merged from
+          shard runs (:func:`repro.campaigns.engine.merge_campaign_results`)
+          are row-for-row identical to a single unsharded run.
+
+        Round-robin (rather than contiguous block) dealing spreads each
+        (die count, variant) acquisition group over shards evenly, which
+        balances wall-clock when die counts differ in cost.
+        """
+        count = int(count)
+        index = int(index)
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        return [cell for cell in self.grid() if cell.index % count == index]
+
     # -- (de)serialisation -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

@@ -12,7 +12,11 @@ Sub-commands:
   (trojans x dies x acquisition variants x metrics) grid through the
   :mod:`repro.campaigns` engine (EM metrics acquire traces; ``delay_*``
   metrics run the clock-glitch delay study on the compiled timing
-  kernel), ``campaign report`` pretty-prints a stored summary.
+  kernel); ``--store DIR`` attaches a content-addressed artifact store
+  (warm reruns resume with only the missing cells) and ``--shard I/N``
+  runs one deterministic partition of the grid; ``campaign merge``
+  fuses shard result directories back into one full-grid summary;
+  ``campaign report`` pretty-prints a stored summary.
 
 Every study command accepts ``--quick`` (reduced campaign, same code
 paths) and ``--seed``.
@@ -22,8 +26,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from .campaigns.spec import KNOWN_METRICS
 from .core.report import (
@@ -99,9 +105,24 @@ def cmd_headline(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     config = _experiment_config(args)
-    suite = runner.run_all(config)
+    suite = runner.run_all(config, store=args.store)
     print(suite.summary_table())
     return 0 if suite.all_shapes_match() else 1
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``--shard I/N`` argument into ``(index, count)``."""
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like INDEX/COUNT (e.g. 0/2), got {text!r}"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, count), got {text!r}"
+        )
+    return index, count
 
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -133,12 +154,62 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print("error: --save-traces needs --out DIR to write the archives to",
               file=sys.stderr)
         return 2
-    engine = CampaignEngine(spec)
-    result = engine.run(artifact_dir=args.out)
+    engine = CampaignEngine(spec, store=args.store)
+    result = engine.run(artifact_dir=args.out, shard=args.shard)
     print(result.report())
-    print(f"\n{len(result.cells)} grid cells in {result.elapsed_s:.2f} s")
+    shard_note = (f" (shard {args.shard[0]}/{args.shard[1]} of "
+                  f"{spec.num_cells()})" if args.shard else "")
+    print(f"\n{len(result.cells)} grid cells{shard_note} "
+          f"in {result.elapsed_s:.2f} s")
     if args.out is not None:
         print(f"summary written to {args.out}")
+    if args.store is not None:
+        print(f"artifact store: {args.store}")
+    return 0
+
+
+def _load_campaign_payload(path: Path) -> dict:
+    """Load one campaign summary JSON from a file or a shard directory."""
+    if path.is_dir():
+        candidates = []
+        for json_path in sorted(path.glob("*.json")):
+            try:
+                payload = json.loads(json_path.read_text())
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict) and "spec" in payload \
+                    and "cells" in payload:
+                candidates.append((json_path, payload))
+        if not candidates:
+            raise FileNotFoundError(
+                f"no campaign summary JSON found in directory {path}"
+            )
+        if len(candidates) > 1:
+            names = ", ".join(str(json_path) for json_path, _ in candidates)
+            raise ValueError(
+                f"multiple campaign summaries in {path} ({names}); pass the "
+                "file you mean directly"
+            )
+        return candidates[0][1]
+    return json.loads(path.read_text())
+
+
+def cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from .campaigns import CampaignResult, merge_campaign_results
+
+    try:
+        results = [CampaignResult.from_dict(_load_campaign_payload(Path(p)))
+                   for p in args.shards]
+        merged = merge_campaign_results(results)
+    except (FileNotFoundError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(merged.report())
+    print(f"\nmerged {len(results)} shard result(s) into "
+          f"{len(merged.cells)} grid cells")
+    if args.out is not None:
+        merged.save(args.out)
+        print(f"merged summary written to {args.out}")
     return 0
 
 
@@ -192,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run the full figure/table suite"
     )
     _add_common_options(p_exp)
+    p_exp.add_argument("--store", default=None,
+                       help="content-addressed artifact store directory; the "
+                            "shared population study reads through it")
     p_exp.set_defaults(func=cmd_experiments)
 
     p_campaign = subparsers.add_parser(
@@ -232,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for the JSON/CSV summary and artifacts")
     p_run.add_argument("--save-traces", action="store_true",
                        help="also archive the acquired traces (.npz) per cell")
+    p_run.add_argument("--store", default=None,
+                       help="content-addressed artifact store directory: "
+                            "acquisitions, delay measurements and finished "
+                            "cells persist there, and a rerun resumes with "
+                            "only the missing cells")
+    p_run.add_argument("--shard", type=_parse_shard, default=None,
+                       metavar="I/N",
+                       help="run only shard I of N (deterministic partition "
+                            "of the grid; fuse results with campaign merge)")
     p_run.set_defaults(func=cmd_campaign_run)
 
     p_report = campaign_sub.add_parser(
@@ -239,6 +322,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("results", help="campaign summary JSON file")
     p_report.set_defaults(func=cmd_campaign_report)
+
+    p_merge = campaign_sub.add_parser(
+        "merge", help="fuse shard result directories into one summary"
+    )
+    p_merge.add_argument("shards", nargs="+",
+                         help="shard result directories (or summary JSON "
+                              "files) written by campaign run --shard")
+    p_merge.add_argument("--out", default=None,
+                         help="directory for the merged JSON/CSV summary")
+    p_merge.set_defaults(func=cmd_campaign_merge)
 
     return parser
 

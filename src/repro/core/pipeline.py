@@ -418,13 +418,14 @@ def average_stimulus_traces(per_die_traces: Sequence[Sequence[EMTrace]]
     return averaged
 
 
-def run_population_em_study(platform: "HTDetectionPlatform",
+def run_population_em_study(platform: "Optional[HTDetectionPlatform]",
                             trojan_names: Sequence[str] = ("HT1", "HT2", "HT3"),
                             plaintext: Optional[bytes] = None,
                             key: Optional[bytes] = None,
                             metric: Optional[LocalMaximaSumMetric] = None,
                             traces: "Optional[tuple]" = None,
-                            plaintexts: Optional[Sequence[bytes]] = None
+                            plaintexts: Optional[Sequence[bytes]] = None,
+                            area_fractions: "Optional[Dict[str, float]]" = None
                             ) -> PopulationEMStudyResult:
     """The Sec. V inter-die study (HT size sweep over a die population).
 
@@ -435,7 +436,16 @@ def run_population_em_study(platform: "HTDetectionPlatform",
     instead of re-acquiring.  ``plaintexts`` (mutually exclusive with
     ``plaintext``) sweeps a whole stimulus set through the batched
     acquisition and scores each die on its stimulus-averaged trace.
+    ``area_fractions`` supplies the per-trojan ``% of AES`` figures
+    directly (e.g. from a warm artifact store); with both ``traces``
+    and ``area_fractions`` given, ``platform`` may be ``None`` — the
+    study then runs without any design being built.
     """
+    if platform is None and (traces is None or area_fractions is None):
+        raise ValueError(
+            "platform may only be None when both traces and area_fractions "
+            "are supplied"
+        )
     if traces is None:
         if plaintexts is not None and plaintext is not None:
             raise ValueError("pass either plaintext or plaintexts, not both")
@@ -464,14 +474,17 @@ def run_population_em_study(platform: "HTDetectionPlatform",
     reference = detector.fit_reference(golden_traces)
 
     characterisations: Dict[str, PopulationCharacterisation] = {}
-    area_fractions: Dict[str, float] = {}
+    fractions: Dict[str, float] = {}
     for name in trojan_names:
         characterisations[name] = detector.characterise(infected_traces[name])
-        area_fractions[name] = platform.infected_design(name).area_fraction_of_aes()
+        if area_fractions is not None:
+            fractions[name] = float(area_fractions[name])
+        else:
+            fractions[name] = platform.infected_design(name).area_fraction_of_aes()
     return PopulationEMStudyResult(
         reference=reference,
         golden_traces=golden_traces,
         infected_traces=infected_traces,
         characterisations=characterisations,
-        trojan_area_fractions=area_fractions,
+        trojan_area_fractions=fractions,
     )

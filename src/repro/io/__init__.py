@@ -1,7 +1,12 @@
 """Persistence helpers for traces and experiment results."""
 
 from .results import load_result, save_result, to_jsonable
-from .tracefile import load_traces, save_traces
+from .tracefile import (
+    load_traces,
+    save_traces,
+    traces_from_arrays,
+    traces_to_arrays,
+)
 
 __all__ = [
     "load_result",
@@ -9,4 +14,6 @@ __all__ = [
     "to_jsonable",
     "load_traces",
     "save_traces",
+    "traces_from_arrays",
+    "traces_to_arrays",
 ]

@@ -1,0 +1,52 @@
+"""Content-addressed artifact store for campaign intermediates.
+
+``repro.store`` persists the expensive intermediates of the detection
+protocol — infected designs' summaries, golden fingerprints, averaged
+trace tensors, per-cell campaign results — under *content addresses*:
+the SHA-256 of the canonical JSON of the spec fragment that produces
+them.  Equal configuration therefore means an instant hit across runs,
+processes and hosts, and any perturbation means a clean miss.  Writes
+are atomic and indexed by a manifest, which doubles as the per-cell
+completion record sharded or interrupted campaigns resume from.
+"""
+
+from .artifact_store import (
+    STORE_FORMAT_VERSION,
+    ArtifactStore,
+    ManifestEntry,
+)
+from .artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    DEFAULT_GOLDEN_SIGNATURE,
+    cell_result_key,
+    delay_differences_key,
+    golden_signature,
+    infected_summary_key,
+    pack_delay_differences,
+    pack_population_traces,
+    population_traces_key,
+    spec_content_fragment,
+    unpack_delay_differences,
+    unpack_population_traces,
+)
+from .keys import canonical_json, stable_key
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactStore",
+    "DEFAULT_GOLDEN_SIGNATURE",
+    "ManifestEntry",
+    "STORE_FORMAT_VERSION",
+    "canonical_json",
+    "cell_result_key",
+    "delay_differences_key",
+    "golden_signature",
+    "infected_summary_key",
+    "pack_delay_differences",
+    "pack_population_traces",
+    "population_traces_key",
+    "spec_content_fragment",
+    "stable_key",
+    "unpack_delay_differences",
+    "unpack_population_traces",
+]

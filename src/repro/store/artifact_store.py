@@ -1,0 +1,211 @@
+"""Content-addressed on-disk artifact store.
+
+Layout of a store directory::
+
+    <root>/
+        objects/   <key>.json | <key>.npz      the payloads
+        manifest/  <key>.json                  one index entry per key
+
+Writes are *atomic*: the payload is written to a hidden ``*.tmp`` file
+in the same directory and moved into place with :func:`os.replace`, and
+the manifest entry is only written after the object exists.  A key is a
+*hit* only when both the manifest entry and the object file are present,
+so a crash mid-write (a stray temp file, or an object without its
+manifest entry) can never surface as a corrupt hit — the next producer
+simply recomputes and overwrites.
+
+Because keys are content addresses of the *producing* configuration
+(:mod:`repro.store.keys`) and every producer in this repository is
+seed-deterministic, concurrent writers of the same key write identical
+bytes; the last ``os.replace`` wins and nothing is torn.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: On-disk layout version, stored in every manifest entry.
+STORE_FORMAT_VERSION = 1
+
+_KEY_FORBIDDEN = set("/\\")
+
+
+def _check_key(key: str) -> str:
+    if not key or not isinstance(key, str):
+        raise ValueError("artifact key must be a non-empty string")
+    if set(key) & _KEY_FORBIDDEN or key.startswith("."):
+        raise ValueError(f"artifact key {key!r} is not a safe filename")
+    return key
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + replace."""
+    handle, temp_name = tempfile.mkstemp(prefix=f".{path.name}.",
+                                         suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(handle, "wb") as temp_file:
+            temp_file.write(data)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """Index record of one stored artifact."""
+
+    key: str
+    kind: str
+    filename: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"format_version": STORE_FORMAT_VERSION, "key": self.key,
+                "kind": self.kind, "filename": self.filename,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ManifestEntry":
+        return cls(key=payload["key"], kind=payload["kind"],
+                   filename=payload["filename"],
+                   meta=dict(payload.get("meta", {})))
+
+
+class ArtifactStore:
+    """Content-addressed npz/JSON artifact store with a manifest index."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifest_dir = self.root / "manifest"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- write --------------------------------------------------------------------
+
+    def _record(self, key: str, kind: str, object_path: Path,
+                meta: Optional[Mapping[str, Any]]) -> ManifestEntry:
+        entry = ManifestEntry(key=key, kind=kind, filename=object_path.name,
+                              meta=dict(meta or {}))
+        _atomic_write_bytes(
+            self.manifest_dir / f"{key}.json",
+            json.dumps(entry.to_dict(), indent=2, sort_keys=True).encode(),
+        )
+        return entry
+
+    def put_json(self, key: str, payload: Any, *, kind: str = "json",
+                 meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
+        """Store a JSON-serialisable payload under ``key``."""
+        _check_key(key)
+        from ..io.results import to_jsonable
+
+        object_path = self.objects_dir / f"{key}.json"
+        _atomic_write_bytes(
+            object_path,
+            json.dumps(to_jsonable(payload), indent=2, sort_keys=True).encode(),
+        )
+        return self._record(key, kind, object_path, meta)
+
+    def put_arrays(self, key: str, arrays: Mapping[str, np.ndarray], *,
+                   kind: str = "arrays",
+                   meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
+        """Store a named-array payload under ``key`` as compressed npz."""
+        _check_key(key)
+        if not arrays:
+            raise ValueError("cannot store an empty array payload")
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **{str(name): np.asarray(value)
+                                       for name, value in arrays.items()})
+        object_path = self.objects_dir / f"{key}.npz"
+        _atomic_write_bytes(object_path, buffer.getvalue())
+        return self._record(key, kind, object_path, meta)
+
+    # -- read ---------------------------------------------------------------------
+
+    def entry(self, key: str) -> Optional[ManifestEntry]:
+        """The manifest entry of ``key`` — ``None`` unless key is a full hit."""
+        _check_key(key)
+        manifest_path = self.manifest_dir / f"{key}.json"
+        if not manifest_path.exists():
+            return None
+        try:
+            entry = ManifestEntry.from_dict(json.loads(manifest_path.read_text()))
+        except (json.JSONDecodeError, KeyError):
+            return None
+        if not (self.objects_dir / entry.filename).exists():
+            return None
+        return entry
+
+    def __contains__(self, key: str) -> bool:
+        return self.entry(key) is not None
+
+    def has(self, key: str) -> bool:
+        return key in self
+
+    def _object_path(self, key: str) -> Path:
+        entry = self.entry(key)
+        if entry is None:
+            raise KeyError(f"artifact {key!r} is not in the store")
+        return self.objects_dir / entry.filename
+
+    def get_json(self, key: str) -> Any:
+        """Load the JSON payload stored under ``key``."""
+        return json.loads(self._object_path(key).read_text())
+
+    def get_arrays(self, key: str) -> Dict[str, np.ndarray]:
+        """Load the named-array payload stored under ``key``."""
+        with np.load(self._object_path(key), allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+
+    # -- index --------------------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys with a valid manifest entry *and* object."""
+        for manifest_path in sorted(self.manifest_dir.glob("*.json")):
+            key = manifest_path.stem
+            if key in self:
+                yield key
+
+    def index(self) -> Dict[str, ManifestEntry]:
+        """The manifest: every complete (entry + object) artifact."""
+        entries = {}
+        for key in self.keys():
+            entry = self.entry(key)
+            if entry is not None:
+                entries[key] = entry
+        return entries
+
+    def discard(self, key: str) -> bool:
+        """Remove ``key`` (manifest entry first, then the object)."""
+        _check_key(key)
+        entry = self.entry(key)
+        removed = False
+        manifest_path = self.manifest_dir / f"{key}.json"
+        if manifest_path.exists():
+            manifest_path.unlink()
+            removed = True
+        if entry is not None:
+            object_path = self.objects_dir / entry.filename
+            if object_path.exists():
+                object_path.unlink()
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ArtifactStore({str(self.root)!r}, {len(self)} artifacts)"

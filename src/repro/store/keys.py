@@ -1,0 +1,30 @@
+"""Stable content keys for campaign artifacts.
+
+An artifact is addressed by the SHA-256 of the *canonical JSON* of the
+spec fragment that produces it (trojan set, die population, acquisition
+configuration, stimulus set, ...).  Canonicalisation — sorted keys,
+compact separators, :func:`repro.io.results.to_jsonable` coercion of
+dataclasses/numpy/bytes — makes the key independent of dict ordering
+and of how the fragment was spelled, so equal physics always means an
+equal key and any perturbation of the producing configuration means a
+new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..io.results import to_jsonable
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding of an arbitrary jsonable tree."""
+    return json.dumps(to_jsonable(payload), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def stable_key(payload: Any) -> str:
+    """The content address of ``payload``: SHA-256 of its canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -4,6 +4,7 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cli import build_parser, main
 from repro.io.results import load_result, save_result, to_jsonable
@@ -31,6 +32,74 @@ def test_save_and_load_traces_round_trip(tmp_path):
     assert loaded[1].plaintext == bytes(range(16))
     assert np.allclose(loaded[0].samples, traces[0].samples)
     assert loaded[0].sample_period_ns == pytest.approx(0.2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    num_traces=st.integers(1, 4),
+    num_samples=st.integers(1, 64),
+    dtype=st.sampled_from([np.float64, np.float32]),
+)
+def test_trace_round_trip_is_lossless(tmp_path_factory, data, num_traces,
+                                      num_samples, dtype):
+    """Every EMTrace field survives save/load bit-for-bit.
+
+    Pins the v1 lossiness fix: sample dtype is preserved and
+    ``cycle_sample_offsets`` — including ragged, per-trace lengths — is
+    no longer dropped on save.
+    """
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    traces = []
+    for index in range(num_traces):
+        num_offsets = data.draw(st.integers(0, 8))
+        traces.append(EMTrace(
+            samples=rng.normal(0, 100, num_samples).astype(dtype),
+            label=data.draw(st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=12)),
+            plaintext=bytes(rng.integers(0, 256, 16, dtype=np.uint8)),
+            sample_period_ns=float(data.draw(st.floats(
+                1e-3, 10.0, allow_nan=False, allow_infinity=False))),
+            cycle_sample_offsets=[int(v) for v in
+                                  rng.integers(0, 4096, num_offsets)],
+        ))
+    path = tmp_path_factory.mktemp("traces") / "round_trip.npz"
+    loaded = load_traces(save_traces(path, traces))
+    assert len(loaded) == len(traces)
+    for original, copy in zip(traces, loaded):
+        assert copy.samples.dtype == original.samples.dtype
+        assert copy.samples.tobytes() == original.samples.tobytes()
+        assert copy.label == original.label
+        assert copy.plaintext == original.plaintext
+        assert copy.sample_period_ns == original.sample_period_ns
+        assert copy.cycle_sample_offsets == original.cycle_sample_offsets
+
+
+def test_v1_archives_still_load(tmp_path):
+    """Archives written before the offsets fix load with empty offsets."""
+    traces = [make_trace("legacy", 5)]
+    path = tmp_path / "legacy.npz"
+    np.savez_compressed(
+        path,
+        format_version=np.array(1),
+        samples=np.vstack([traces[0].samples]),
+        labels=np.array(["legacy"]),
+        plaintexts=np.array([traces[0].plaintext.hex()]),
+        sample_period_ns=np.array([0.2]),
+    )
+    loaded = load_traces(path)
+    assert loaded[0].label == "legacy"
+    assert loaded[0].cycle_sample_offsets == []
+    assert np.array_equal(loaded[0].samples, traces[0].samples)
+
+
+def test_unknown_version_rejected(tmp_path):
+    path = tmp_path / "future.npz"
+    np.savez_compressed(path, format_version=np.array(99),
+                        samples=np.zeros((1, 4)))
+    with pytest.raises(ValueError, match="version 99"):
+        load_traces(path)
 
 
 def test_save_traces_validation(tmp_path):
@@ -74,6 +143,19 @@ def test_cli_parser_has_all_subcommands():
         args = parser.parse_args([command, "--quick"])
         assert args.command == command
         assert args.quick
+
+
+def test_cli_parser_campaign_store_and_shard_flags():
+    parser = build_parser()
+    args = parser.parse_args(["campaign", "run", "--store", "artifacts",
+                              "--shard", "1/4"])
+    assert args.store == "artifacts"
+    assert args.shard == (1, 4)
+    args = parser.parse_args(["campaign", "merge", "a", "b", "--out", "m"])
+    assert args.shards == ["a", "b"] and args.out == "m"
+    for bad_shard in ("2/2", "x/2", "1", "-1/2", "1/0"):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "run", "--shard", bad_shard])
 
 
 def test_cli_trojans_command(capsys):
