@@ -77,6 +77,7 @@ def test_batched_campaign_matches_serial_and_is_2x_faster(benchmark):
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
     benchmark.extra_info["engine_seconds"] = round(engine_seconds, 4)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["gate"] = 2.0
     for name in TROJANS:
         benchmark.extra_info[f"fn_rate[{name}]"] = round(engine_rates[name], 4)
     assert speedup >= 2.0, (

@@ -81,6 +81,7 @@ def test_compiled_delay_study_matches_interpreted_and_is_5x_faster(benchmark):
     benchmark.extra_info["interpreted_seconds"] = round(interpreted_seconds, 4)
     benchmark.extra_info["compiled_seconds"] = round(compiled_seconds, 4)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["gate"] = MIN_SPEEDUP
     benchmark.extra_info["devices"] = len(duts)
     benchmark.extra_info["pairs"] = NUM_PAIRS
     assert speedup >= MIN_SPEEDUP, (

@@ -72,6 +72,7 @@ def test_stimulus_batch_matches_serial_and_is_5x_faster(benchmark):
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
     benchmark.extra_info["batch_seconds"] = round(batch_seconds, 4)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["gate"] = 5.0
     benchmark.extra_info["num_plaintexts"] = NUM_PLAINTEXTS
     benchmark.extra_info["num_dies"] = NUM_DIES
     assert speedup >= 5.0, (

@@ -11,6 +11,12 @@ The harness is self-contained: it runs headless from a clean checkout
 ``sys.path`` here — and degrades gracefully to single-pass timing when
 the ``pytest-benchmark`` plugin is not available.
 
+Every ``bench_*.py`` module additionally emits an in-repo record,
+``benchmarks/records/BENCH_<name>.json``, holding each test's
+``extra_info`` (measured speedup, gate threshold, regenerated paper
+numbers) with no timestamps — committing the records tracks the perf
+trajectory of the repository alongside the code.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -18,6 +24,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
@@ -60,6 +67,60 @@ if not _HAVE_BENCHMARK_PLUGIN:  # pragma: no cover - depends on the environment
     @pytest.fixture
     def benchmark():
         return _FallbackBenchmark()
+
+
+#: Where the per-module benchmark records land (committed to the repo).
+RECORDS_DIR = Path(__file__).resolve().parent / "records"
+
+
+def _jsonable(value):
+    """Coerce extra_info values (numpy scalars included) to plain JSON."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        value = value.item()
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def _record_benchmark(item) -> None:
+    """Merge one test's ``extra_info`` into its module's BENCH record.
+
+    The record file is ``BENCH_<module-minus-bench_>.json``: one
+    ``tests`` entry per benchmark test, deterministic layout (sorted
+    keys, no timestamps) so reruns produce reviewable diffs.
+    """
+    fixture = getattr(item, "funcargs", {}).get("benchmark")
+    extra = getattr(fixture, "extra_info", None)
+    if not extra:
+        return
+    module_name = item.module.__name__.rpartition(".")[2]
+    if not module_name.startswith("bench_"):
+        return
+    name = module_name[len("bench_"):]
+    RECORDS_DIR.mkdir(exist_ok=True)
+    path = RECORDS_DIR / f"BENCH_{name}.json"
+    record = {}
+    if path.exists():
+        try:
+            record = json.loads(path.read_text())
+        except ValueError:
+            record = {}
+    record["bench"] = name
+    record.setdefault("tests", {})
+    record["tests"][item.name] = _jsonable(dict(extra))
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item):
+    yield
+    _record_benchmark(item)
 
 
 @pytest.fixture(scope="session")

@@ -1,5 +1,18 @@
-"""Analysis toolkit: traces, local maxima, Gaussian fits, ROC, statistics."""
+"""Analysis toolkit: traces, local maxima, Gaussian fits, ROC, statistics.
 
+The scalar primitives each have a batched, matrix-resident counterpart
+in :mod:`repro.analysis.batch` that is bit-identical per row; the
+scalars stay the serial references the batch kernel is pinned against.
+"""
+
+from .batch import (
+    abs_difference_matrix,
+    false_negative_rates,
+    find_local_maxima_batch,
+    fit_gaussians_batch,
+    pooled_std_batch,
+    sum_of_local_maxima_batch,
+)
 from .gaussian import (
     GaussianFit,
     fit_gaussian,
@@ -33,6 +46,12 @@ from .traces import (
 )
 
 __all__ = [
+    "abs_difference_matrix",
+    "false_negative_rates",
+    "find_local_maxima_batch",
+    "fit_gaussians_batch",
+    "pooled_std_batch",
+    "sum_of_local_maxima_batch",
     "GaussianFit",
     "fit_gaussian",
     "overlap_threshold",

@@ -9,7 +9,6 @@ the flat, noise-dominated regions between rounds (Sec. V-B).
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -23,6 +22,12 @@ def find_local_maxima(signal: Sequence[float], min_height: Optional[float] = Non
     neighbour and at least as large as its right neighbour (plateaus keep
     their first sample).  End points are never maxima.
 
+    This is the **serial reference** of
+    :func:`repro.analysis.batch.find_local_maxima_batch`: the batched
+    kernel must reproduce this function's output bit-for-bit on every
+    row, including the tie order of equal-height peaks during
+    min-distance suppression.
+
     Parameters
     ----------
     min_height:
@@ -34,10 +39,13 @@ def find_local_maxima(signal: Sequence[float], min_height: Optional[float] = Non
     x = np.asarray(signal, dtype=float)
     if x.ndim != 1:
         raise ValueError("signal must be one-dimensional")
-    if x.size < 3:
-        return np.array([], dtype=int)
     if min_distance < 1:
         raise ValueError("min_distance must be >= 1")
+    if x.size < 3 or not np.any(x[1:] != x[:-1]):
+        # Too short, or flat (e.g. the all-zero difference trace of a
+        # same-die self-comparison): no interior sample can be a strict
+        # local maximum, so skip the neighbour comparisons entirely.
+        return np.array([], dtype=int)
 
     left = x[1:-1] > x[:-2]
     right = x[1:-1] >= x[2:]
@@ -47,34 +55,44 @@ def find_local_maxima(signal: Sequence[float], min_height: Optional[float] = Non
         candidates = candidates[x[candidates] >= min_height]
     if candidates.size == 0 or min_distance == 1:
         return candidates
+    if candidates.size == 1 or np.all(np.diff(candidates) >= min_distance):
+        # Already spaced: the greedy suppression would keep every peak.
+        return candidates
 
     # Greedy keep-highest with spacing constraint.  Visiting candidates
     # in descending height order (the same ordering the original
     # quadratic implementation used) and suppressing the ``candidates``
     # range within ``min_distance`` of every kept peak is equivalent to
     # re-checking each candidate against all kept peaks, but runs in
-    # O(K log K): ``candidates`` is ascending, so the suppression window
-    # is one ``searchsorted`` slice.
+    # O(K log K): ``candidates`` is ascending, so every suppression
+    # window is one precomputed ``searchsorted`` slice — no per-peak
+    # bisect and no list round-trips.
     order_positions = np.argsort(x[candidates])[::-1].tolist()
-    candidate_list = candidates.tolist()
-    suppressed = bytearray(len(candidate_list))
+    lows = np.searchsorted(candidates, candidates - (min_distance - 1),
+                           side="left")
+    highs = np.searchsorted(candidates, candidates + (min_distance - 1),
+                            side="right")
+    suppressed = np.zeros(candidates.size, dtype=bool)
     kept: List[int] = []
     for position in order_positions:
         if suppressed[position]:
             continue
-        index = candidate_list[position]
-        kept.append(index)
-        low = bisect_left(candidate_list, index - min_distance + 1)
-        high = bisect_right(candidate_list, index + min_distance - 1)
-        suppressed[low:high] = b"\x01" * (high - low)
+        kept.append(candidates[position])
+        suppressed[lows[position]:highs[position]] = True
     return np.array(sorted(kept), dtype=int)
 
 
 def sum_of_local_maxima(signal: Sequence[float],
                         min_height: Optional[float] = None,
                         min_distance: int = 1) -> float:
-    """Sum of the local-maximum values of ``signal`` (the paper's metric core)."""
+    """Sum of the local-maximum values of ``signal`` (the paper's metric core).
+
+    Serial reference of
+    :func:`repro.analysis.batch.sum_of_local_maxima_batch`.
+    """
     x = np.asarray(signal, dtype=float)
+    if x.size < 3:
+        return 0.0
     indices = find_local_maxima(x, min_height=min_height,
                                 min_distance=min_distance)
     if indices.size == 0:

@@ -28,7 +28,17 @@ def as_samples(trace: TraceLike) -> np.ndarray:
 
 
 def stack_traces(traces: Iterable[TraceLike]) -> np.ndarray:
-    """Stack traces into a ``(num_traces, num_samples)`` matrix."""
+    """Stack traces into a ``(num_traces, num_samples)`` matrix.
+
+    A pre-stacked two-dimensional float ndarray passes straight through
+    (no copy, no re-validation): detectors that score the same
+    population repeatedly stack once and hand the matrix around instead
+    of re-converting the trace list on every call.
+    """
+    if isinstance(traces, np.ndarray) and traces.ndim == 2:
+        if traces.shape[0] == 0:
+            raise ValueError("at least one trace is required")
+        return np.asarray(traces, dtype=float)
     rows = [as_samples(trace) for trace in traces]
     if not rows:
         raise ValueError("at least one trace is required")
@@ -42,7 +52,11 @@ def stack_traces(traces: Iterable[TraceLike]) -> np.ndarray:
 
 
 def mean_trace(traces: Iterable[TraceLike]) -> np.ndarray:
-    """Sample-wise mean of a set of traces (the E(G) reference of Sec. V)."""
+    """Sample-wise mean of a set of traces (the E(G) reference of Sec. V).
+
+    Accepts a pre-stacked ``(num_traces, num_samples)`` ndarray like
+    :func:`stack_traces`.
+    """
     return stack_traces(traces).mean(axis=0)
 
 
@@ -69,7 +83,11 @@ def difference(trace: TraceLike, reference: TraceLike) -> np.ndarray:
 
 
 def per_sample_std(traces: Iterable[TraceLike]) -> np.ndarray:
-    """Sample-wise standard deviation across a set of traces."""
+    """Sample-wise standard deviation across a set of traces.
+
+    Accepts a pre-stacked ``(num_traces, num_samples)`` ndarray like
+    :func:`stack_traces`.
+    """
     matrix = stack_traces(traces)
     if matrix.shape[0] < 2:
         return np.zeros(matrix.shape[1])

@@ -51,7 +51,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..analysis.gaussian import fit_gaussian, pooled_std
+from ..analysis.batch import (
+    false_negative_rates,
+    fit_gaussians_batch,
+    pooled_std_batch,
+)
+from ..analysis.gaussian import fit_gaussian
+from ..analysis.traces import stack_traces
 from ..core.delay_detector import DelayDetector
 from ..core.fingerprint import DelayFingerprint
 from ..core.metrics import (
@@ -63,7 +69,6 @@ from ..core.metrics import (
 from ..core.pipeline import (
     HTDetectionPlatform,
     PlatformConfig,
-    average_stimulus_traces,
     run_population_em_study,
 )
 from ..core.report import format_table
@@ -105,7 +110,9 @@ METRIC_FACTORIES = {
 
 
 #: Delay-metric registry: spec metric name -> scorer over the Eq. (4)
-#: per-(pair, bit) difference matrix of one device campaign.
+#: per-(pair, bit) difference matrix of one device campaign.  These
+#: per-device scorers are the serial references of
+#: :data:`DELAY_METRIC_BATCH_SCORERS`.
 DELAY_METRIC_SCORERS = {
     # Worst per-bit shift anywhere (the paper's device-level score: one
     # disturbed net is enough).
@@ -115,6 +122,18 @@ DELAY_METRIC_SCORERS = {
     # influence shows on many stimuli, damps single-pair outliers).
     "delay_mean_pair_max":
         lambda differences: float(differences.max(axis=1).mean()),
+}
+
+
+#: Batched delay scorers over a stacked ``(devices, pairs, bits)``
+#: difference tensor; each returns the ``(devices,)`` score vector,
+#: bit-identical to looping the :data:`DELAY_METRIC_SCORERS` serial
+#: reference over the planes.
+DELAY_METRIC_BATCH_SCORERS = {
+    "delay_max_difference":
+        lambda differences: differences.max(axis=(1, 2)),
+    "delay_mean_pair_max":
+        lambda differences: differences.max(axis=2).mean(axis=1),
 }
 
 
@@ -130,7 +149,7 @@ def build_metric(name: str):
 
 
 def build_delay_scorer(name: str):
-    """Resolve a delay-metric scorer from its campaign-spec name."""
+    """Resolve a (serial) delay-metric scorer from its campaign-spec name."""
     try:
         return DELAY_METRIC_SCORERS[name]
     except KeyError as exc:
@@ -140,18 +159,30 @@ def build_delay_scorer(name: str):
         ) from exc
 
 
+def build_delay_batch_scorer(name: str):
+    """Resolve a batched delay-metric scorer from its campaign-spec name."""
+    try:
+        return DELAY_METRIC_BATCH_SCORERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown delay metric {name!r}; available: "
+            + ", ".join(DELAY_METRIC_BATCH_SCORERS)
+        ) from exc
+
+
 @dataclass
 class _DelayStudyData:
-    """Cached Eq. (4) difference matrices of one delay campaign.
+    """Cached Eq. (4) difference tensors of one delay campaign.
 
-    One entry per (device, die): ``golden_differences[die]`` is the
-    clean control on die ``die``; ``infected_differences[trojan][die]``
-    the infected device on that die.  All metrics of a grid re-score
-    these matrices instead of re-measuring.
+    Stacked ``(dies, pairs, bits)`` tensors: ``golden_differences[die]``
+    is the clean control on die ``die``;
+    ``infected_differences[trojan][die]`` the infected device on that
+    die.  All metrics of a grid re-score these tensors (one batched
+    scorer call per population) instead of re-measuring.
     """
 
-    golden_differences: List["np.ndarray"]
-    infected_differences: Dict[str, List["np.ndarray"]]
+    golden_differences: "np.ndarray"
+    infected_differences: Dict[str, "np.ndarray"]
 
 
 @dataclass
@@ -328,6 +359,17 @@ class CampaignEngine:
         self._acquisition_cache: Dict[
             Tuple[int, str], Tuple[List[EMTrace], Dict[str, List[EMTrace]]]
         ] = {}
+        #: Stacked (dies x samples) score inputs — seeded straight from
+        #: the acquisition tensors (or stacked once from store-loaded
+        #: traces) per acquisition key and shared by every metric cell,
+        #: so scoring never re-converts the same population.
+        self._matrix_cache: Dict[
+            Tuple[int, str], Tuple[np.ndarray, Dict[str, np.ndarray]]
+        ] = {}
+        #: Freshly acquired populations in tensor form, kept so the
+        #: EMTrace boundary (:meth:`acquire_cell_traces`) can wrap them
+        #: on demand without re-acquiring.
+        self._tensor_cache: Dict[Tuple[int, str], Any] = {}
         #: Delay campaign measurements keyed by die count (the delay
         #: bench is not affected by the EM acquisition variant, so cells
         #: that differ only in variant or metric share one measurement).
@@ -419,6 +461,42 @@ class CampaignEngine:
             )
         return self._platform_cache[cache_key]
 
+    def _population_store_key(self, cell: GridCell) -> Optional[str]:
+        if self.store is None:
+            return None
+        return population_traces_key(
+            device=self.device, golden=self._golden_signature,
+            em_config=cell.variant.build_em_config(),
+            seed=self.spec.seed, num_dies=cell.num_dies,
+            trojans=self.spec.trojans, key=self.spec.key,
+            plaintexts=self.spec.stimulus_plaintexts(),
+        )
+
+    def _acquire_cell_tensors(self, cell: GridCell):
+        """Acquire (and memoise) one cell's population in tensor form."""
+        cache_key = cell.acquisition_key
+        if cache_key in self._tensor_cache:
+            return self._tensor_cache[cache_key]
+        plaintexts = self.spec.stimulus_plaintexts()
+        platform = self.platform_for(cell)
+        if len(plaintexts) == 1:
+            tensors = platform.acquire_population_tensors(
+                self.spec.trojans, plaintexts[0], self.spec.key
+            )
+        else:
+            # Whole-stimulus tensor acquisition with one axis reduction
+            # per design (:func:`average_stimulus_tensor`).
+            tensors = platform.acquire_population_tensors_stimuli(
+                self.spec.trojans, plaintexts, self.spec.key
+            )
+        self._tensor_cache[cache_key] = tensors
+        self._matrix_cache.setdefault(
+            cache_key,
+            (tensors.golden,
+             {name: tensors.infected[name] for name in self.spec.trojans}),
+        )
+        return tensors
+
     def acquire_cell_traces(self, cell: GridCell
                             ) -> Tuple[List[EMTrace], Dict[str, List[EMTrace]]]:
         """Acquire (or reuse) the population traces of one grid cell.
@@ -429,43 +507,23 @@ class CampaignEngine:
         whole stimulus set is acquired in batched
         (:meth:`~repro.measurement.em_simulator.EMSimulator.acquire_many_batch`)
         passes and each die is represented by its stimulus-averaged
-        trace.
+        trace.  This is the :class:`EMTrace` *persistence boundary* —
+        scoring runs on the tensors of :meth:`cell_trace_matrices`;
+        trace objects are wrapped here for the store and the trace
+        archives (and on demand from an already-acquired tensor, without
+        re-acquiring).
         """
         cache_key = cell.acquisition_key
         if cache_key in self._acquisition_cache:
             return self._acquisition_cache[cache_key]
-        plaintexts = self.spec.stimulus_plaintexts()
-        store_key = None
-        if self.store is not None:
-            store_key = population_traces_key(
-                device=self.device, golden=self._golden_signature,
-                em_config=cell.variant.build_em_config(),
-                seed=self.spec.seed, num_dies=cell.num_dies,
-                trojans=self.spec.trojans, key=self.spec.key,
-                plaintexts=plaintexts,
+        store_key = self._population_store_key(cell)
+        if store_key is not None and store_key in self.store:
+            self._acquisition_cache[cache_key] = unpack_population_traces(
+                self.store.get_arrays(store_key)
             )
-            if store_key in self.store:
-                self._acquisition_cache[cache_key] = unpack_population_traces(
-                    self.store.get_arrays(store_key)
-                )
-                return self._acquisition_cache[cache_key]
-        platform = self.platform_for(cell)
-        if len(plaintexts) == 1:
-            self._acquisition_cache[cache_key] = \
-                platform.acquire_population_traces(
-                    self.spec.trojans, plaintexts[0], self.spec.key
-                )
-        else:
-            golden_grid, infected_grid = (
-                platform.acquire_population_traces_stimuli(
-                    self.spec.trojans, plaintexts, self.spec.key
-                )
-            )
-            self._acquisition_cache[cache_key] = (
-                average_stimulus_traces(golden_grid),
-                {name: average_stimulus_traces(infected_grid[name])
-                 for name in self.spec.trojans},
-            )
+            return self._acquisition_cache[cache_key]
+        tensors = self._acquire_cell_tensors(cell)
+        self._acquisition_cache[cache_key] = tensors.to_traces()
         if store_key is not None:
             golden_traces, infected_traces = self._acquisition_cache[cache_key]
             self.store.put_arrays(
@@ -474,9 +532,43 @@ class CampaignEngine:
                 kind="population_traces",
                 meta={"num_dies": cell.num_dies,
                       "variant": cell.variant.name,
-                      "num_plaintexts": len(plaintexts)},
+                      "num_plaintexts":
+                          len(self.spec.stimulus_plaintexts())},
             )
         return self._acquisition_cache[cache_key]
+
+    def cell_trace_matrices(self, cell: GridCell
+                            ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """The cell's population as stacked ``(dies, samples)`` matrices.
+
+        Memoised per acquisition key: cells that differ only in the
+        metric share one population, and every scorer consumes the
+        matrices directly (:mod:`repro.analysis.batch`).  Fresh
+        acquisitions stay tensor-resident end-to-end (no intermediate
+        :class:`EMTrace` objects); only a store hit — whose payload *is*
+        trace objects — pays one stacking pass, and a store-backed cold
+        run wraps traces once for the store write while the matrices
+        come straight from the acquisition tensors.
+        """
+        cache_key = cell.acquisition_key
+        if cache_key in self._matrix_cache:
+            return self._matrix_cache[cache_key]
+        store_key = self._population_store_key(cell)
+        if store_key is None and cache_key not in self._acquisition_cache:
+            # No store attached: acquire in tensor form and skip the
+            # EMTrace boundary entirely (the trace archive, if enabled,
+            # wraps the cached tensors later without re-acquiring).
+            self._acquire_cell_tensors(cell)
+            return self._matrix_cache[cache_key]
+        golden_traces, infected_traces = self.acquire_cell_traces(cell)
+        if cache_key not in self._matrix_cache:
+            # Store hit: stack the loaded trace lists once.
+            self._matrix_cache[cache_key] = (
+                stack_traces(golden_traces),
+                {name: stack_traces(infected_traces[name])
+                 for name in self.spec.trojans},
+            )
+        return self._matrix_cache[cache_key]
 
     def delay_study_data(self, cell: GridCell) -> "_DelayStudyData":
         """Measure (or reuse) the delay campaigns of one grid cell.
@@ -510,8 +602,11 @@ class CampaignEngine:
                     unpack_delay_differences(self.store.get_arrays(store_key))
                 )
                 self._delay_cache[num_dies] = _DelayStudyData(
-                    golden_differences=golden_differences,
-                    infected_differences=infected_differences,
+                    golden_differences=np.stack(golden_differences),
+                    infected_differences={
+                        name: np.stack(matrices)
+                        for name, matrices in infected_differences.items()
+                    },
                 )
                 return self._delay_cache[num_dies]
         spec = self.spec
@@ -548,25 +643,21 @@ class CampaignEngine:
         measurements = meter.measure_batch(duts, pairs, glitch,
                                            seeds=seeds)
 
-        golden_differences = [
-            detector.difference_ps(measurement)
-            for measurement in measurements[:num_dies]
-        ]
-        infected_differences: Dict[str, List[np.ndarray]] = {}
+        # One batched Eq. (4) evaluation over every (device, die)
+        # campaign, then views into the stacked tensor per population.
+        differences = detector.difference_ps_batch(measurements)
+        infected_differences: Dict[str, np.ndarray] = {}
         for trojan_index, name in enumerate(spec.trojans):
             begin = num_dies * (1 + trojan_index)
-            infected_differences[name] = [
-                detector.difference_ps(measurement)
-                for measurement in measurements[begin:begin + num_dies]
-            ]
+            infected_differences[name] = differences[begin:begin + num_dies]
         self._delay_cache[num_dies] = _DelayStudyData(
-            golden_differences=golden_differences,
+            golden_differences=differences[:num_dies],
             infected_differences=infected_differences,
         )
         if store_key is not None:
             self.store.put_arrays(
                 store_key,
-                pack_delay_differences(golden_differences,
+                pack_delay_differences(differences[:num_dies],
                                        infected_differences),
                 kind="delay_differences",
                 meta={"num_dies": num_dies,
@@ -583,32 +674,38 @@ class CampaignEngine:
         return self._run_em_cell(cell)
 
     def _run_delay_cell(self, cell: GridCell) -> CampaignCellResult:
-        """Score one delay-study cell from the cached difference matrices.
+        """Score one delay-study cell from the cached difference tensors.
 
         Mirrors the EM cells' Gaussian characterisation: the genuine
         population is the per-die score of clean devices against the
         golden fingerprint, the infected population the per-die scores
         of one trojan, and the Eq. (5) overlap gives the
-        false-negative rate.
+        false-negative rate.  Scoring is batched end-to-end: one
+        :data:`DELAY_METRIC_BATCH_SCORERS` pass per population and
+        batched Gaussian fits / Eq. (5) rates over the per-trojan score
+        matrix (:mod:`repro.analysis.batch`), bit-identical to the
+        per-die serial loops.
         """
         start = time.perf_counter()
         data = self.delay_study_data(cell)
-        scorer = build_delay_scorer(cell.metric)
-        genuine_scores = np.array([scorer(differences)
-                                   for differences in data.golden_differences])
+        scorer = build_delay_batch_scorer(cell.metric)
+        genuine_scores = scorer(data.golden_differences)
         genuine_fit = fit_gaussian(genuine_scores)
+        infected_score_matrix = np.stack(
+            [scorer(data.infected_differences[name])
+             for name in self.spec.trojans]
+        ) if self.spec.trojans else np.zeros((0, genuine_scores.size))
+        infected_means, _ = fit_gaussians_batch(infected_score_matrix)
+        mus = infected_means - genuine_fit.mean
+        # Both populations have one score per die and the spec enforces
+        # >= 2 dies, so the pooled estimate always applies.
+        sigmas = pooled_std_batch(genuine_scores, infected_score_matrix)
+        fn_rates = false_negative_rates(mus, sigmas)
         rows = []
-        for name in self.spec.trojans:
-            infected_scores = np.array(
-                [scorer(differences)
-                 for differences in data.infected_differences[name]]
-            )
-            infected_fit = fit_gaussian(infected_scores)
-            mu = float(infected_fit.mean - genuine_fit.mean)
-            # Both populations have one score per die and the spec
-            # enforces >= 2 dies, so the pooled estimate always applies.
-            sigma = float(pooled_std(genuine_scores, infected_scores))
-            fn_rate = false_negative_rate(mu, sigma)
+        for trojan_index, name in enumerate(self.spec.trojans):
+            mu = float(mus[trojan_index])
+            sigma = float(sigmas[trojan_index])
+            fn_rate = float(fn_rates[trojan_index])
             rows.append(CampaignRow(
                 cell_index=cell.index,
                 num_dies=cell.num_dies,
@@ -633,14 +730,21 @@ class CampaignEngine:
         )
 
     def _run_em_cell(self, cell: GridCell) -> CampaignCellResult:
-        """Execute one EM grid cell: acquire (or reuse) traces, score, decide."""
+        """Execute one EM grid cell: acquire (or reuse) traces, score, decide.
+
+        Scoring is matrix-resident: the cell's population enters the
+        study as pre-stacked ``(dies x samples)`` matrices
+        (:meth:`cell_trace_matrices`) shared across every metric cell of
+        the acquisition key, and the whole-population scores come out of
+        the batched kernel passes of :mod:`repro.analysis.batch`.
+        """
         start = time.perf_counter()
-        golden_traces, infected_traces = self.acquire_cell_traces(cell)
+        golden_matrix, infected_matrices = self.cell_trace_matrices(cell)
         study = run_population_em_study(
             None,
             trojan_names=self.spec.trojans,
             metric=build_metric(cell.metric),
-            traces=(golden_traces, infected_traces),
+            traces=(golden_matrix, infected_matrices),
             area_fractions={name: self.trojan_area_fraction(name)
                             for name in self.spec.trojans},
         )
@@ -660,8 +764,7 @@ class CampaignEngine:
             )
             for name in self.spec.trojans
         ]
-        trace_archive = self._maybe_save_traces(cell, golden_traces,
-                                                infected_traces)
+        trace_archive = self._maybe_save_traces(cell)
         return CampaignCellResult(
             index=cell.index,
             num_dies=cell.num_dies,
@@ -674,15 +777,15 @@ class CampaignEngine:
             trace_archive=trace_archive,
         )
 
-    def _maybe_save_traces(self, cell: GridCell,
-                           golden_traces: Sequence[EMTrace],
-                           infected_traces: Mapping[str, Sequence[EMTrace]]
-                           ) -> Optional[str]:
+    def _maybe_save_traces(self, cell: GridCell) -> Optional[str]:
         """Persist the cell's trace artifact (once per acquisition key).
 
         Ownership is deterministic — the lowest-index cell of each
         acquisition key writes the archive — so parallel workers never
-        race on the same file.
+        race on the same file.  The :class:`EMTrace` objects live in the
+        acquisition cache (this persistence boundary is the only scoring
+        consumer that needs them; the scorers run on the stacked
+        matrices).
         """
         if self._artifact_dir is None or not self.spec.save_traces:
             return None
@@ -699,6 +802,7 @@ class CampaignEngine:
         archive = (self._artifact_dir
                    / f"traces_d{cell.num_dies}_{cell.variant.name}.npz")
         if cell.index == owner and cache_key not in self._saved_archives:
+            golden_traces, infected_traces = self.acquire_cell_traces(cell)
             all_traces = list(golden_traces)
             for name in self.spec.trojans:
                 all_traces.extend(infected_traces[name])

@@ -119,7 +119,10 @@ class DelayDetector:
     # -- comparison ----------------------------------------------------------------
 
     def difference_ps(self, measurement: DelayMeasurement) -> np.ndarray:
-        """Eq. (4) per-(pair, bit) delay differences against the fingerprint."""
+        """Eq. (4) per-(pair, bit) delay differences against the fingerprint.
+
+        Serial reference of :meth:`difference_ps_batch`.
+        """
         if measurement.mean_steps().shape != self.fingerprint.mean_steps.shape:
             raise ValueError(
                 "measurement and fingerprint cover different campaigns "
@@ -130,6 +133,30 @@ class DelayDetector:
         dut_ps = measurement.mean_delay_ps()
         gm_ps = self.fingerprint.mean_delay_ps()
         return np.abs(gm_ps - dut_ps)
+
+    def difference_ps_batch(self, measurements: Sequence[DelayMeasurement]
+                            ) -> np.ndarray:
+        """Eq. (4) differences of many device campaigns in one pass.
+
+        Stacks the per-device mean delays into a ``(devices, pairs,
+        bits)`` tensor and broadcasts the golden fingerprint against it;
+        every ``[d]`` plane is bit-identical to
+        :meth:`difference_ps` on ``measurements[d]`` (the serial
+        reference).
+        """
+        shape = self.fingerprint.mean_steps.shape
+        if not measurements:
+            return np.zeros((0,) + shape)
+        for measurement in measurements:
+            if measurement.mean_steps().shape != shape:
+                raise ValueError(
+                    "measurement and fingerprint cover different campaigns "
+                    f"({measurement.mean_steps().shape} vs {shape}); use "
+                    "the same pairs and glitch sweep"
+                )
+        stacked = np.stack([measurement.mean_delay_ps()
+                            for measurement in measurements])
+        return np.abs(self.fingerprint.mean_delay_ps()[None, :, :] - stacked)
 
     def _device_score(self, measurement: DelayMeasurement) -> float:
         return float(self.difference_ps(measurement).max())

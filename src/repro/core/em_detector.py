@@ -24,8 +24,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.batch import (
+    false_negative_rates,
+    fit_gaussians_batch,
+    pooled_std_batch,
+)
 from ..analysis.gaussian import GaussianFit, fit_gaussian, pooled_std
-from ..analysis.traces import TraceLike, abs_difference, as_samples
+from ..analysis.traces import TraceLike, abs_difference, as_samples, stack_traces
 from .decision import DetectionOutcome, ThresholdPolicy
 from .fingerprint import EMReference
 from .metrics import LocalMaximaSumMetric, false_negative_rate
@@ -151,14 +156,30 @@ class PopulationEMDetector:
     # -- reference construction ---------------------------------------------------
 
     def fit_reference(self, golden_traces: Sequence[TraceLike]) -> EMReference:
-        """Build the mean-golden reference and the golden score population."""
+        """Build the mean-golden reference and the golden score population.
+
+        ``golden_traces`` may be a trace list or a pre-stacked
+        ``(num_traces, num_samples)`` ndarray; either way the population
+        is stacked once and both the reference statistics and the whole
+        golden score population come out of single batched passes
+        (:meth:`~repro.core.metrics.LocalMaximaSumMetric.scores_matrix`)
+        — bit-identical to the per-trace serial loop.
+        """
         if len(golden_traces) < 2:
             raise ValueError(
                 "the population detector needs at least two golden traces"
             )
-        self.reference = EMReference.from_traces(golden_traces, label="E(G)")
-        self._golden_scores = self.metric.scores(golden_traces, self.reference.mean)
+        matrix = stack_traces(golden_traces)
+        self.reference = EMReference.from_matrix(matrix, label="E(G)")
+        self._golden_scores = self._population_scores(matrix)
         return self.reference
+
+    def _population_scores(self, matrix: np.ndarray) -> np.ndarray:
+        """Score a stacked population, falling back for custom metrics."""
+        scores_matrix = getattr(self.metric, "scores_matrix", None)
+        if scores_matrix is not None:
+            return scores_matrix(matrix, self.reference.mean)
+        return self.metric.scores(matrix, self.reference.mean)
 
     def golden_scores(self) -> np.ndarray:
         """Scores of the golden population against its own mean."""
@@ -173,6 +194,16 @@ class PopulationEMDetector:
         if self.reference is None:
             raise RuntimeError("call fit_reference() before using the detector")
         return self.metric.score(trace, self.reference.mean)
+
+    def scores(self, traces: Sequence[TraceLike]) -> np.ndarray:
+        """Scores of a whole population in one batched call.
+
+        Accepts a trace list or a pre-stacked matrix; bit-identical to
+        calling :meth:`score` per trace.
+        """
+        if self.reference is None:
+            raise RuntimeError("call fit_reference() before using the detector")
+        return self._population_scores(stack_traces(traces))
 
     def compare(self, trace: TraceLike, label: str = "DUT") -> PopulationComparison:
         """Accept/reject one device."""
@@ -190,14 +221,21 @@ class PopulationEMDetector:
         """Fit the two-Gaussian model of Fig. 7 and evaluate Eq. (5).
 
         ``infected_traces`` are the traces of the *same* trojan across the
-        die population; the genuine population is the one the reference
-        was fitted on.
+        die population (a trace list or a pre-stacked matrix); the
+        genuine population is the one the reference was fitted on.  The
+        whole population is scored in one batched call.
         """
-        if not infected_traces:
+        if len(infected_traces) == 0:
             raise ValueError("at least one infected trace is required")
+        infected_scores = self._population_scores(
+            stack_traces(infected_traces)
+        )
+        return self._characterise_scores(infected_scores)
+
+    def _characterise_scores(self, infected_scores: np.ndarray
+                             ) -> PopulationCharacterisation:
+        """Two-Gaussian model of one infected score population."""
         genuine_scores = self.golden_scores()
-        infected_scores = self.metric.scores(infected_traces,
-                                             self.reference.mean)
         genuine_fit = fit_gaussian(genuine_scores)
         infected_fit = fit_gaussian(infected_scores)
         mu = infected_fit.mean - genuine_fit.mean
@@ -211,4 +249,107 @@ class PopulationEMDetector:
             mu=float(mu),
             sigma=float(sigma),
             false_negative_rate=false_negative_rate(mu, sigma),
+        )
+
+    def _stack_populations(self, infected_populations: "Dict[str, Sequence[TraceLike]]"
+                           ) -> "tuple[List[str], List[np.ndarray]]":
+        names = list(infected_populations)
+        matrices = []
+        for name in names:
+            population = infected_populations[name]
+            if len(population) == 0:
+                raise ValueError("at least one infected trace is required")
+            matrices.append(stack_traces(population))
+        return names, matrices
+
+    def _characterise_population_scores(self, names: "List[str]",
+                                        matrices: "List[np.ndarray]",
+                                        scores: np.ndarray
+                                        ) -> "Dict[str, PopulationCharacterisation]":
+        """Split one concatenated score vector and characterise per trojan.
+
+        ``scores`` holds the infected populations' scores concatenated
+        in ``names`` order.  In the study shape (every population one
+        score per die, at least two dies) all Gaussian fits, pooled
+        sigmas and Eq. (5) rates come out of the batched score-matrix
+        primitives; either path is bit-identical to
+        :meth:`characterise` on each trojan alone.
+        """
+        genuine_scores = self.golden_scores()
+        sizes = {matrix.shape[0] for matrix in matrices}
+        if names and len(sizes) == 1 and min(sizes) >= 2 \
+                and genuine_scores.size >= 2:
+            genuine_fit = fit_gaussian(genuine_scores)
+            score_matrix = scores.reshape(len(names), -1)
+            infected_means, infected_stds = fit_gaussians_batch(score_matrix)
+            mus = infected_means - genuine_fit.mean
+            sigmas = pooled_std_batch(genuine_scores, score_matrix)
+            rates = false_negative_rates(mus, sigmas)
+            return {
+                name: PopulationCharacterisation(
+                    genuine=genuine_fit,
+                    infected=GaussianFit(mean=float(infected_means[index]),
+                                         std=float(infected_stds[index])),
+                    mu=float(mus[index]),
+                    sigma=float(sigmas[index]),
+                    false_negative_rate=float(rates[index]),
+                )
+                for index, name in enumerate(names)
+            }
+        characterisations: Dict[str, PopulationCharacterisation] = {}
+        begin = 0
+        for name, matrix in zip(names, matrices):
+            end = begin + matrix.shape[0]
+            characterisations[name] = self._characterise_scores(
+                scores[begin:end]
+            )
+            begin = end
+        return characterisations
+
+    def characterise_many(self, infected_populations: "Dict[str, Sequence[TraceLike]]"
+                          ) -> "Dict[str, PopulationCharacterisation]":
+        """Characterise several trojans' populations in one scoring pass.
+
+        All populations (trace lists or pre-stacked matrices) are
+        concatenated into a single score-matrix call, so the expensive
+        local-maxima kernel runs once over every infected trace of the
+        study; each per-trojan characterisation is then bit-identical to
+        :meth:`characterise` on that trojan alone.
+        """
+        if self.reference is None:
+            raise RuntimeError("call fit_reference() before using the detector")
+        names, matrices = self._stack_populations(infected_populations)
+        if not names:
+            return {}
+        combined = (np.concatenate(matrices, axis=0) if len(matrices) > 1
+                    else matrices[0])
+        scores = self._population_scores(combined)
+        return self._characterise_population_scores(names, matrices, scores)
+
+    def fit_and_characterise(self, golden_traces: Sequence[TraceLike],
+                             infected_populations: "Dict[str, Sequence[TraceLike]]"
+                             ) -> "tuple[EMReference, Dict[str, PopulationCharacterisation]]":
+        """Fit the reference and characterise every trojan in ONE kernel pass.
+
+        The whole study — golden population and every infected
+        population — is scored by a single batched score-matrix call, so
+        the local-maxima kernel's fixed costs are paid once per study
+        instead of once per population.  The golden scores, the
+        reference and every characterisation are bit-identical to the
+        two-step :meth:`fit_reference` + :meth:`characterise` path.
+        """
+        if len(golden_traces) < 2:
+            raise ValueError(
+                "the population detector needs at least two golden traces"
+            )
+        golden_matrix = stack_traces(golden_traces)
+        names, matrices = self._stack_populations(infected_populations)
+        self.reference = EMReference.from_matrix(golden_matrix, label="E(G)")
+        combined = (np.concatenate([golden_matrix] + matrices, axis=0)
+                    if matrices else golden_matrix)
+        scores = self._population_scores(combined)
+        num_golden = golden_matrix.shape[0]
+        self._golden_scores = scores[:num_golden]
+        return self.reference, self._characterise_population_scores(
+            names, matrices, scores[num_golden:]
         )

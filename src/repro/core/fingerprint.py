@@ -128,8 +128,26 @@ class EMReference:
     @classmethod
     def from_traces(cls, traces: Sequence[TraceLike],
                     label: str = "E(G)") -> "EMReference":
-        """Build the reference from a set of golden traces."""
-        matrix = stack_traces(traces)
+        """Build the reference from a set of golden traces.
+
+        A pre-stacked ``(num_traces, num_samples)`` ndarray passes
+        straight through to :meth:`from_matrix` without re-stacking.
+        """
+        return cls.from_matrix(stack_traces(traces), label=label)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray,
+                    label: str = "E(G)") -> "EMReference":
+        """Build the reference from a stacked trace matrix in one pass.
+
+        The whole golden population is characterised with two axis
+        reductions (mean, per-sample std) — no per-trace loop and no
+        intermediate :class:`~repro.measurement.em_simulator.EMTrace`
+        objects.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be (num_traces, num_samples)")
         return cls(
             mean=matrix.mean(axis=0),
             per_sample_std=(matrix.std(axis=0, ddof=1) if matrix.shape[0] > 1

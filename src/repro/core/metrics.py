@@ -20,8 +20,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..analysis.batch import abs_difference_matrix, sum_of_local_maxima_batch
 from ..analysis.local_maxima import sum_of_local_maxima
-from ..analysis.traces import TraceLike, abs_difference
+from ..analysis.traces import TraceLike, abs_difference, as_samples, stack_traces
 
 
 def false_negative_rate(mu: float, sigma: float) -> float:
@@ -89,16 +90,44 @@ class LocalMaximaSumMetric:
         return abs_difference(trace, reference)
 
     def score(self, trace: TraceLike, reference: TraceLike) -> float:
-        """Sum of the local maxima of the absolute difference trace."""
+        """Sum of the local maxima of the absolute difference trace.
+
+        Serial reference of :meth:`scores_matrix`; the batched path must
+        reproduce this per-trace score bit-for-bit.
+        """
         return sum_of_local_maxima(
             self.difference_trace(trace, reference),
             min_height=self.min_peak_height,
             min_distance=self.min_peak_distance,
         )
 
+    def scores_matrix(self, matrix: np.ndarray, reference: TraceLike
+                      ) -> np.ndarray:
+        """Scores of a pre-stacked ``(traces x samples)`` matrix.
+
+        One batched abs-difference and one batched local-maxima pass
+        over the whole population (:mod:`repro.analysis.batch`);
+        bit-identical to calling :meth:`score` row by row.
+        """
+        return sum_of_local_maxima_batch(
+            abs_difference_matrix(matrix, as_samples(reference)),
+            min_height=self.min_peak_height,
+            min_distance=self.min_peak_distance,
+        )
+
     def scores(self, traces: Sequence[TraceLike], reference: TraceLike
                ) -> np.ndarray:
-        """Scores of a whole population of traces against one reference."""
+        """Scores of a whole population of traces against one reference.
+
+        Stacks once (a pre-stacked ndarray passes through) and scores
+        through :meth:`scores_matrix`; equals :meth:`scores_serial`
+        bit-for-bit.
+        """
+        return self.scores_matrix(stack_traces(traces), reference)
+
+    def scores_serial(self, traces: Sequence[TraceLike], reference: TraceLike
+                      ) -> np.ndarray:
+        """Per-trace scoring loop — the serial reference of :meth:`scores`."""
         return np.array([self.score(trace, reference) for trace in traces])
 
 
@@ -112,10 +141,21 @@ class L1TraceMetric:
     """
 
     def score(self, trace: TraceLike, reference: TraceLike) -> float:
+        """Serial reference of :meth:`scores_matrix`."""
         return float(np.mean(abs_difference(trace, reference)))
+
+    def scores_matrix(self, matrix: np.ndarray, reference: TraceLike
+                      ) -> np.ndarray:
+        """Row-wise mean abs difference; bit-identical to :meth:`score`."""
+        return abs_difference_matrix(matrix, as_samples(reference)).mean(axis=1)
 
     def scores(self, traces: Sequence[TraceLike], reference: TraceLike
                ) -> np.ndarray:
+        return self.scores_matrix(stack_traces(traces), reference)
+
+    def scores_serial(self, traces: Sequence[TraceLike], reference: TraceLike
+                      ) -> np.ndarray:
+        """Per-trace scoring loop — the serial reference of :meth:`scores`."""
         return np.array([self.score(trace, reference) for trace in traces])
 
 
@@ -124,8 +164,19 @@ class MaxDifferenceMetric:
     """Baseline metric: maximum absolute difference (single worst sample)."""
 
     def score(self, trace: TraceLike, reference: TraceLike) -> float:
+        """Serial reference of :meth:`scores_matrix`."""
         return float(np.max(abs_difference(trace, reference)))
+
+    def scores_matrix(self, matrix: np.ndarray, reference: TraceLike
+                      ) -> np.ndarray:
+        """Row-wise max abs difference; bit-identical to :meth:`score`."""
+        return abs_difference_matrix(matrix, as_samples(reference)).max(axis=1)
 
     def scores(self, traces: Sequence[TraceLike], reference: TraceLike
                ) -> np.ndarray:
+        return self.scores_matrix(stack_traces(traces), reference)
+
+    def scores_serial(self, traces: Sequence[TraceLike], reference: TraceLike
+                      ) -> np.ndarray:
+        """Per-trace scoring loop — the serial reference of :meth:`scores`."""
         return np.array([self.score(trace, reference) for trace in traces])

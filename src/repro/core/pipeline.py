@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.traces import stack_traces
 from ..fpga.design import GoldenDesign
 from ..fpga.device import FPGADevice, virtex5_lx30
 from ..stimulus import DEFAULT_KEY, DEFAULT_PLAINTEXT
@@ -99,6 +100,48 @@ class PopulationEMStudyResult:
         """Per-trojan false-negative rates (the headline table)."""
         return {name: char.false_negative_rate
                 for name, char in self.characterisations.items()}
+
+
+@dataclass
+class PopulationTraceTensors:
+    """Matrix-resident population traces (one row per die, per design).
+
+    The tensor form the batched acquisition produces and the batched
+    scoring consumes: ``golden`` and each ``infected[name]`` are
+    ``(num_dies, num_samples)`` float matrices.  :class:`EMTrace`
+    objects exist only at the persistence/report boundary —
+    :meth:`to_traces` wraps the rows on demand, carrying the acquisition
+    context (labels, stimulus, sampling grid) stored here.
+    """
+
+    golden: np.ndarray
+    infected: Dict[str, np.ndarray]
+    golden_labels: List[str]
+    infected_labels: Dict[str, List[str]]
+    plaintext: bytes
+    sample_period_ns: float
+    cycle_sample_offsets: List[int]
+
+    def _wrap(self, matrix: np.ndarray, labels: Sequence[str]
+              ) -> List[EMTrace]:
+        return [
+            EMTrace(
+                samples=matrix[row].copy(),
+                label=labels[row],
+                plaintext=self.plaintext,
+                sample_period_ns=self.sample_period_ns,
+                cycle_sample_offsets=list(self.cycle_sample_offsets),
+            )
+            for row in range(matrix.shape[0])
+        ]
+
+    def to_traces(self) -> "tuple[List[EMTrace], Dict[str, List[EMTrace]]]":
+        """Wrap the tensors into per-die :class:`EMTrace` lists."""
+        return (
+            self._wrap(self.golden, self.golden_labels),
+            {name: self._wrap(matrix, self.infected_labels[name])
+             for name, matrix in self.infected.items()},
+        )
 
 
 class HTDetectionPlatform:
@@ -247,33 +290,64 @@ class HTDetectionPlatform:
         return [np.random.default_rng(self.config.seed + 1000 + die_index)
                 for die_index in range(len(self.population))]
 
+    def acquire_population_tensors(self, trojan_names: Sequence[str],
+                                   plaintext: Optional[bytes] = None,
+                                   key: Optional[bytes] = None
+                                   ) -> "PopulationTraceTensors":
+        """The Sec. V-A population as matrix-resident sample tensors.
+
+        Every design's die population is synthesised as one
+        ``(dies, samples)`` matrix
+        (:meth:`EMSimulator.acquire_batch_matrix`); no
+        :class:`EMTrace` objects are built — scoring consumes the
+        matrices directly and
+        :meth:`PopulationTraceTensors.to_traces` wraps them at the
+        persistence/report boundary.  Each die keeps its own noise
+        stream, consumed in the same order as the per-die loop of
+        :meth:`acquire_population_traces_serial`, so every row is
+        bit-identical to the serial reference implementation.
+        """
+        plaintext, key = self._population_stimulus(plaintext, key)
+        die_indices = range(len(self.population))
+        rngs = self._die_rngs()
+        golden_duts = [self.golden_dut(die_index) for die_index in die_indices]
+        golden, cycle_offsets = self.em_simulator.acquire_batch_matrix(
+            golden_duts, plaintext, key, rngs, new_setup_installation=True,
+        )
+        infected: Dict[str, np.ndarray] = {}
+        infected_labels: Dict[str, List[str]] = {}
+        for name in trojan_names:
+            duts = [self.infected_dut(name, die_index)
+                    for die_index in die_indices]
+            infected[name], _ = self.em_simulator.acquire_batch_matrix(
+                duts, plaintext, key, rngs, new_setup_installation=True,
+            )
+            infected_labels[name] = [dut.label for dut in duts]
+        return PopulationTraceTensors(
+            golden=golden,
+            infected=infected,
+            golden_labels=[dut.label for dut in golden_duts],
+            infected_labels=infected_labels,
+            plaintext=bytes(plaintext),
+            sample_period_ns=1.0
+            / self.config.em.oscilloscope.sample_rate_gsps,
+            cycle_sample_offsets=list(cycle_offsets),
+        )
+
     def acquire_population_traces(self, trojan_names: Sequence[str],
                                   plaintext: Optional[bytes] = None,
                                   key: Optional[bytes] = None
                                   ) -> "tuple[List[EMTrace], Dict[str, List[EMTrace]]]":
         """One averaged trace per (design, die): the 32 traces of Sec. V-A.
 
-        The acquisition is batched: every design's traces across the
-        whole die population are synthesised in one vectorised NumPy pass
-        (:meth:`EMSimulator.acquire_batch`).  Each die keeps its own
-        noise stream, consumed in the same order as the per-die loop of
-        :meth:`acquire_population_traces_serial`, so the traces are
-        bit-identical to the serial reference implementation.
+        Thin :class:`EMTrace` wrapper over
+        :meth:`acquire_population_tensors` (the persistence/report
+        boundary); bit-identical to the serial reference
+        :meth:`acquire_population_traces_serial`.
         """
-        plaintext, key = self._population_stimulus(plaintext, key)
-        die_indices = range(len(self.population))
-        rngs = self._die_rngs()
-        golden_traces = self.em_simulator.acquire_batch(
-            [self.golden_dut(die_index) for die_index in die_indices],
-            plaintext, key, rngs, new_setup_installation=True,
-        )
-        infected_traces: Dict[str, List[EMTrace]] = {}
-        for name in trojan_names:
-            infected_traces[name] = self.em_simulator.acquire_batch(
-                [self.infected_dut(name, die_index) for die_index in die_indices],
-                plaintext, key, rngs, new_setup_installation=True,
-            )
-        return golden_traces, infected_traces
+        return self.acquire_population_tensors(
+            trojan_names, plaintext, key
+        ).to_traces()
 
     def acquire_population_traces_serial(self, trojan_names: Sequence[str],
                                          plaintext: Optional[bytes] = None,
@@ -304,6 +378,54 @@ class HTDetectionPlatform:
         return golden_traces, infected_traces
 
     # -- random-plaintext (multi-stimulus) population acquisition ---------------
+
+    def acquire_population_tensors_stimuli(self, trojan_names: Sequence[str],
+                                           plaintexts: Sequence[bytes],
+                                           key: Optional[bytes] = None
+                                           ) -> "PopulationTraceTensors":
+        """Stimulus-averaged population as matrix-resident tensors.
+
+        Every design's whole (plaintext x die) grid is synthesised as
+        one ``(plaintexts, dies, samples)`` tensor
+        (:meth:`EMSimulator.acquire_many_batch_tensor`) and collapsed to
+        each die's stimulus-averaged trace with one axis reduction
+        (:func:`average_stimulus_tensor`) — the multi-stimulus Sec. V
+        comparison without a single :class:`EMTrace` in flight.  Each
+        plane is bit-identical to the serial reference
+        :meth:`acquire_population_traces_stimuli_serial`, and the
+        averaged rows equal :func:`average_stimulus_traces` on the
+        wrapped grid.
+        """
+        key = key if key is not None else DEFAULT_KEY
+        die_indices = range(len(self.population))
+        rngs = self._die_rngs()
+        golden_duts = [self.golden_dut(die_index) for die_index in die_indices]
+        golden_grid, cycle_offsets = (
+            self.em_simulator.acquire_many_batch_tensor(
+                golden_duts, plaintexts, key, rngs,
+                new_setup_installation=True,
+            )
+        )
+        infected: Dict[str, np.ndarray] = {}
+        infected_labels: Dict[str, List[str]] = {}
+        for name in trojan_names:
+            duts = [self.infected_dut(name, die_index)
+                    for die_index in die_indices]
+            grid, _ = self.em_simulator.acquire_many_batch_tensor(
+                duts, plaintexts, key, rngs, new_setup_installation=True,
+            )
+            infected[name] = average_stimulus_tensor(grid)
+            infected_labels[name] = [dut.label for dut in duts]
+        return PopulationTraceTensors(
+            golden=average_stimulus_tensor(golden_grid),
+            infected=infected,
+            golden_labels=[dut.label for dut in golden_duts],
+            infected_labels=infected_labels,
+            plaintext=bytes(plaintexts[0]),
+            sample_period_ns=1.0
+            / self.config.em.oscilloscope.sample_rate_gsps,
+            cycle_sample_offsets=list(cycle_offsets),
+        )
 
     def acquire_population_traces_stimuli(self, trojan_names: Sequence[str],
                                           plaintexts: Sequence[bytes],
@@ -392,6 +514,24 @@ class HTDetectionPlatform:
         )
 
 
+def average_stimulus_tensor(grid: np.ndarray) -> np.ndarray:
+    """Collapse a ``(plaintexts, dies, samples)`` tensor to per-die means.
+
+    One axis reduction — the tensor-resident counterpart of
+    :func:`average_stimulus_traces` (the serial reference it is
+    bit-identical to): a random-plaintext campaign characterises each
+    die by the mean of its per-stimulus averaged traces, and golden and
+    infected devices are averaged over the *same* stimulus set, so the
+    Sec. V comparison stays like-for-like.
+    """
+    tensor = np.asarray(grid, dtype=float)
+    if tensor.ndim != 3:
+        raise ValueError("grid must be (plaintexts, dies, samples)")
+    if tensor.shape[0] == 0:
+        raise ValueError("every die needs at least one stimulus trace")
+    return tensor.mean(axis=0)
+
+
 def average_stimulus_traces(per_die_traces: Sequence[Sequence[EMTrace]]
                             ) -> List[EMTrace]:
     """Collapse a (die x plaintext) trace grid to one trace per die.
@@ -401,6 +541,8 @@ def average_stimulus_traces(per_die_traces: Sequence[Sequence[EMTrace]]
     oscilloscope's 1 000-fold same-stimulus averaging); the golden
     reference and every infected device are averaged over the *same*
     stimulus set, so the Sec. V comparison stays like-for-like.
+    Serial (:class:`EMTrace`-level) reference of
+    :func:`average_stimulus_tensor`.
     """
     averaged: List[EMTrace] = []
     for die_traces in per_die_traces:
@@ -431,11 +573,20 @@ def run_population_em_study(platform: "Optional[HTDetectionPlatform]",
 
     One implementation serves both the paper path
     (:meth:`HTDetectionPlatform.run_population_em_study`) and the
-    campaign engine's grid cells; ``traces`` lets callers feed an
-    already-acquired ``(golden_traces, infected_traces)`` population
-    instead of re-acquiring.  ``plaintexts`` (mutually exclusive with
-    ``plaintext``) sweeps a whole stimulus set through the batched
-    acquisition and scores each die on its stimulus-averaged trace.
+    campaign engine's grid cells.  Acquisition and scoring are
+    tensor-resident end-to-end: the population is acquired (or passed
+    in) as ``(dies, samples)`` matrices, the whole study is scored in
+    batched kernel passes (:mod:`repro.analysis.batch`), and
+    :class:`~repro.measurement.em_simulator.EMTrace` objects are built
+    only at the report boundary for the result's trace fields.
+
+    ``traces`` lets callers feed an already-acquired
+    ``(golden_traces, infected_traces)`` population instead of
+    re-acquiring — either :class:`EMTrace` lists or pre-stacked
+    matrices (the result's trace fields then mirror the input form).
+    ``plaintexts`` (mutually exclusive with ``plaintext``) sweeps a
+    whole stimulus set through the batched acquisition and scores each
+    die on its stimulus-averaged trace.
     ``area_fractions`` supplies the per-trojan ``% of AES`` figures
     directly (e.g. from a warm artifact store); with both ``traces``
     and ``area_fractions`` given, ``platform`` may be ``None`` — the
@@ -446,41 +597,48 @@ def run_population_em_study(platform: "Optional[HTDetectionPlatform]",
             "platform may only be None when both traces and area_fractions "
             "are supplied"
         )
+    tensors: Optional[PopulationTraceTensors] = None
+    golden_traces = infected_traces = None
     if traces is None:
         if plaintexts is not None and plaintext is not None:
             raise ValueError("pass either plaintext or plaintexts, not both")
         if plaintexts is not None and not plaintexts:
             raise ValueError("plaintexts must contain at least one stimulus")
         if plaintexts is not None and len(plaintexts) > 1:
-            golden_grid, infected_grid = (
-                platform.acquire_population_traces_stimuli(
-                    trojan_names, plaintexts, key
-                )
+            tensors = platform.acquire_population_tensors_stimuli(
+                trojan_names, plaintexts, key
             )
-            golden_traces = average_stimulus_traces(golden_grid)
-            infected_traces = {
-                name: average_stimulus_traces(infected_grid[name])
-                for name in trojan_names
-            }
         else:
             if plaintexts is not None:
                 plaintext = plaintexts[0]
-            golden_traces, infected_traces = platform.acquire_population_traces(
+            tensors = platform.acquire_population_tensors(
                 trojan_names, plaintext, key
             )
+        golden_matrix = tensors.golden
+        infected_matrices = {name: tensors.infected[name]
+                             for name in trojan_names}
     else:
+        # Caller-supplied population: EMTrace lists or pre-stacked
+        # matrices (the campaign engine passes matrices); either way the
+        # population is stacked (at most) once and scored batched.
         golden_traces, infected_traces = traces
+        golden_matrix = stack_traces(golden_traces)
+        infected_matrices = {name: stack_traces(infected_traces[name])
+                             for name in trojan_names}
     detector = PopulationEMDetector(metric=metric)
-    reference = detector.fit_reference(golden_traces)
+    reference, characterisations = detector.fit_and_characterise(
+        golden_matrix, infected_matrices
+    )
 
-    characterisations: Dict[str, PopulationCharacterisation] = {}
     fractions: Dict[str, float] = {}
     for name in trojan_names:
-        characterisations[name] = detector.characterise(infected_traces[name])
         if area_fractions is not None:
             fractions[name] = float(area_fractions[name])
         else:
             fractions[name] = platform.infected_design(name).area_fraction_of_aes()
+    if tensors is not None:
+        # EMTrace objects are built only here, at the report boundary.
+        golden_traces, infected_traces = tensors.to_traces()
     return PopulationEMStudyResult(
         reference=reference,
         golden_traces=golden_traces,

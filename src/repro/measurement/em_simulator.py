@@ -387,10 +387,11 @@ class EMSimulator:
                                self.trojan_activity_cache_entries)
         return entry[1]
 
-    def batch_noiseless_traces(self, duts: Sequence[DeviceUnderTest],
+    def batch_noiseless_matrix(self, duts: Sequence[DeviceUnderTest],
                                plaintext: bytes, key: bytes,
-                               encryption_index: int = 0) -> List[EMTrace]:
-        """Deterministic emissions of one encryption for many DUTs at once.
+                               encryption_index: int = 0
+                               ) -> "Tuple[np.ndarray, List[int]]":
+        """Deterministic emissions of one encryption as a ``(duts, samples)`` matrix.
 
         The expensive stimulus-dependent work (AES round trace, host and
         trojan switching activity, probe couplings) is evaluated once per
@@ -398,10 +399,12 @@ class EMSimulator:
         offsets differ between rows, so the whole population is
         synthesised in one vectorised NumPy pass.  Every row is
         arithmetically identical to what :meth:`noiseless_trace` produces
-        for the same DUT.
+        for the same DUT.  Returns ``(signal, cycle_sample_offsets)``;
+        no :class:`EMTrace` objects are built — wrap through
+        :meth:`batch_noiseless_traces` at a persistence/report boundary.
         """
         if not duts:
-            return []
+            raise ValueError("at least one DUT is required")
         config = self.config
         aes = AES(key)
         host_activity = self._cached_host_activities(aes, plaintext, key)
@@ -463,7 +466,18 @@ class EMSimulator:
                                       * kernel[None, : end - offset])
 
         signal = config.amplifier.amplify(signal) + offsets[:, None]
-        sample_period_ns = 1.0 / config.oscilloscope.sample_rate_gsps
+        return signal, cycle_offsets
+
+    def batch_noiseless_traces(self, duts: Sequence[DeviceUnderTest],
+                               plaintext: bytes, key: bytes,
+                               encryption_index: int = 0) -> List[EMTrace]:
+        """:meth:`batch_noiseless_matrix` wrapped into :class:`EMTrace` rows."""
+        if not duts:
+            return []
+        signal, cycle_offsets = self.batch_noiseless_matrix(
+            duts, plaintext, key, encryption_index
+        )
+        sample_period_ns = 1.0 / self.config.oscilloscope.sample_rate_gsps
         return [
             EMTrace(
                 samples=signal[row].copy(),
@@ -475,6 +489,57 @@ class EMSimulator:
             for row, dut in enumerate(duts)
         ]
 
+    def _normalised_rngs(self, duts: Sequence[DeviceUnderTest],
+                         rngs: Union[np.random.Generator,
+                                     Sequence[np.random.Generator]]
+                         ) -> Sequence[np.random.Generator]:
+        if isinstance(rngs, np.random.Generator):
+            return [rngs] * len(duts)
+        rng_list = list(rngs)
+        if len(rng_list) != len(duts):
+            raise ValueError(
+                f"got {len(rng_list)} generators for {len(duts)} DUTs"
+            )
+        return rng_list
+
+    def acquire_batch_matrix(self, duts: Sequence[DeviceUnderTest],
+                             plaintext: bytes, key: bytes,
+                             rngs: Union[np.random.Generator,
+                                         Sequence[np.random.Generator]],
+                             encryption_index: int = 0,
+                             new_setup_installation: bool = False
+                             ) -> "Tuple[np.ndarray, List[int]]":
+        """Acquire a whole population as one ``(duts, samples)`` matrix.
+
+        The tensor-resident core of :meth:`acquire_batch`: per-die setup
+        perturbation and averaged noise are drawn row by row in the
+        serial generator order, then the whole matrix is quantised in
+        one oscilloscope pass.  Row ``d`` is bit-identical to the serial
+        :meth:`acquire` of ``duts[d]``; no :class:`EMTrace` objects are
+        built.  Returns ``(signal, cycle_sample_offsets)``.
+        """
+        rng_list = self._normalised_rngs(duts, rngs)
+        config = self.config
+        signal, cycle_offsets = self.batch_noiseless_matrix(
+            duts, plaintext, key, encryption_index
+        )
+        sigma = config.oscilloscope.effective_noise_sigma(
+            config.noise.sigma_single_shot
+        )
+        for row, rng in enumerate(rng_list):
+            trace = signal[row]
+            if new_setup_installation:
+                gain, offset = config.noise.sample_setup_perturbation(rng)
+                trace = trace * gain + offset
+            if sigma > 0:
+                trace = trace + rng.normal(0.0, sigma, size=trace.shape)
+            signal[row] = trace
+        if config.quantise:
+            signal = config.oscilloscope.quantise(
+                signal, lsb=config.oscilloscope.effective_lsb()
+            )
+        return signal, cycle_offsets
+
     def acquire_batch(self, duts: Sequence[DeviceUnderTest], plaintext: bytes,
                       key: bytes,
                       rngs: Union[np.random.Generator,
@@ -482,6 +547,9 @@ class EMSimulator:
                       encryption_index: int = 0,
                       new_setup_installation: bool = False) -> List[EMTrace]:
         """Acquire one averaged trace per DUT in a single vectorised pass.
+
+        Thin :class:`EMTrace` wrapper over :meth:`acquire_batch_matrix`
+        (the persistence/report boundary).
 
         Parameters
         ----------
@@ -494,29 +562,23 @@ class EMSimulator:
             Applied to every acquisition of the batch (the population
             campaigns re-install the setup for every die).
         """
-        if isinstance(rngs, np.random.Generator):
-            rng_list: Sequence[np.random.Generator] = [rngs] * len(duts)
-        else:
-            rng_list = list(rngs)
-        if len(rng_list) != len(duts):
-            raise ValueError(
-                f"got {len(rng_list)} generators for {len(duts)} DUTs"
+        if not duts:
+            return []
+        signal, cycle_offsets = self.acquire_batch_matrix(
+            duts, plaintext, key, rngs, encryption_index,
+            new_setup_installation,
+        )
+        sample_period_ns = 1.0 / self.config.oscilloscope.sample_rate_gsps
+        return [
+            EMTrace(
+                samples=signal[row].copy(),
+                label=dut.label,
+                plaintext=bytes(plaintext),
+                sample_period_ns=sample_period_ns,
+                cycle_sample_offsets=list(cycle_offsets),
             )
-        config = self.config
-        traces = self.batch_noiseless_traces(duts, plaintext, key,
-                                             encryption_index)
-        for trace, rng in zip(traces, rng_list):
-            signal = trace.samples
-            if new_setup_installation:
-                gain, offset = config.noise.sample_setup_perturbation(rng)
-                signal = signal * gain + offset
-            trace.samples = config.oscilloscope.acquire(
-                signal,
-                noise_sigma_single_shot=config.noise.sigma_single_shot,
-                rng=rng,
-                quantise=config.quantise,
-            )
-        return traces
+            for row, dut in enumerate(duts)
+        ]
 
     # -- whole-stimulus batched acquisition ---------------------------------------
 
@@ -687,41 +749,24 @@ class EMSimulator:
         signal = config.amplifier.amplify(signal) + offsets[None, :, None]
         return signal, cycle_offsets
 
-    def acquire_many_batch(self, duts: Sequence[DeviceUnderTest],
-                           plaintexts: Sequence[bytes], key: bytes,
-                           rngs: Union[np.random.Generator,
-                                       Sequence[np.random.Generator]],
-                           new_setup_installation: bool = False
-                           ) -> List[List[EMTrace]]:
-        """Acquire the whole (plaintext x DUT) grid in one vectorised pass.
+    def acquire_many_batch_tensor(self, duts: Sequence[DeviceUnderTest],
+                                  plaintexts: Sequence[bytes], key: bytes,
+                                  rngs: Union[np.random.Generator,
+                                              Sequence[np.random.Generator]],
+                                  new_setup_installation: bool = False
+                                  ) -> "Tuple[np.ndarray, List[int]]":
+        """Acquire the (plaintext x DUT) grid as one ``(P, D, S)`` tensor.
 
-        Returns one list per DUT (``result[d][p]``), bit-identical to
-        calling the serial :meth:`acquire_many` per DUT.
-
-        Parameters
-        ----------
-        rngs:
-            Either one generator per DUT (each die keeps its own noise
-            stream, consumed across the plaintexts in order) or a single
-            shared generator consumed DUT-major / plaintext-minor — both
-            conventions reproduce ``[acquire_many(dut, plaintexts, key,
-            rng) for dut in duts]`` exactly.
-        new_setup_installation:
-            Applied to every acquisition of the grid (the population
-            campaigns re-install the setup for every trace).
+        The tensor-resident core of :meth:`acquire_many_batch`: noise is
+        drawn DUT-major / plaintext-minor in the serial generator order,
+        then one oscilloscope pass quantises the whole tensor.  Plane
+        ``[p, d]`` is bit-identical to the serial
+        ``acquire(duts[d], plaintexts[p], ...)``; no :class:`EMTrace`
+        objects are built.  Returns ``(signal, cycle_sample_offsets)``.
         """
-        if isinstance(rngs, np.random.Generator):
-            rng_list: Sequence[np.random.Generator] = [rngs] * len(duts)
-        else:
-            rng_list = list(rngs)
-        if len(rng_list) != len(duts):
-            raise ValueError(
-                f"got {len(rng_list)} generators for {len(duts)} DUTs"
-            )
+        rng_list = self._normalised_rngs(duts, rngs)
         if not plaintexts:
-            return [[] for _ in duts]
-        if not duts:
-            return []
+            raise ValueError("at least one plaintext is required")
         config = self.config
         signal, cycle_offsets = self.batch_noiseless_traces_many(
             duts, plaintexts, key
@@ -743,7 +788,43 @@ class EMSimulator:
             signal = config.oscilloscope.quantise(
                 signal, lsb=config.oscilloscope.effective_lsb()
             )
-        sample_period_ns = 1.0 / config.oscilloscope.sample_rate_gsps
+        return signal, cycle_offsets
+
+    def acquire_many_batch(self, duts: Sequence[DeviceUnderTest],
+                           plaintexts: Sequence[bytes], key: bytes,
+                           rngs: Union[np.random.Generator,
+                                       Sequence[np.random.Generator]],
+                           new_setup_installation: bool = False
+                           ) -> List[List[EMTrace]]:
+        """Acquire the whole (plaintext x DUT) grid in one vectorised pass.
+
+        Thin :class:`EMTrace` wrapper over
+        :meth:`acquire_many_batch_tensor` (the persistence/report
+        boundary).  Returns one list per DUT (``result[d][p]``),
+        bit-identical to calling the serial :meth:`acquire_many` per
+        DUT.
+
+        Parameters
+        ----------
+        rngs:
+            Either one generator per DUT (each die keeps its own noise
+            stream, consumed across the plaintexts in order) or a single
+            shared generator consumed DUT-major / plaintext-minor — both
+            conventions reproduce ``[acquire_many(dut, plaintexts, key,
+            rng) for dut in duts]`` exactly.
+        new_setup_installation:
+            Applied to every acquisition of the grid (the population
+            campaigns re-install the setup for every trace).
+        """
+        self._normalised_rngs(duts, rngs)
+        if not duts:
+            return []
+        if not plaintexts:
+            return [[] for _ in duts]
+        signal, cycle_offsets = self.acquire_many_batch_tensor(
+            duts, plaintexts, key, rngs, new_setup_installation
+        )
+        sample_period_ns = 1.0 / self.config.oscilloscope.sample_rate_gsps
         return [
             [
                 EMTrace(
@@ -753,7 +834,7 @@ class EMSimulator:
                     sample_period_ns=sample_period_ns,
                     cycle_sample_offsets=list(cycle_offsets),
                 )
-                for row in range(num_plaintexts)
+                for row in range(len(plaintexts))
             ]
             for column, dut in enumerate(duts)
         ]

@@ -255,3 +255,244 @@ def test_delay_measure_batch_self_calibration_matches(batch_platform):
         for serial_pair, batch_pair in zip(serial_measurement.pairs,
                                            batch_measurement.pairs):
             assert serial_pair.glitch.periods() == batch_pair.glitch.periods()
+
+
+# -- batched scoring (PR 5): campaign/experiment scores vs serial loops -------
+
+
+def test_acquire_batch_matrix_matches_wrapped_traces(batch_platform):
+    """The matrix core and its EMTrace wrapper carry identical samples."""
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, "HT1")
+    matrix, offsets = simulator.acquire_batch_matrix(
+        duts, PLAINTEXT, KEY,
+        [np.random.default_rng(500 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    traces = simulator.acquire_batch(
+        duts, PLAINTEXT, KEY,
+        [np.random.default_rng(500 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    assert matrix.shape == (len(duts), len(traces[0]))
+    for row, trace in enumerate(traces):
+        assert np.array_equal(matrix[row], trace.samples)
+        assert trace.cycle_sample_offsets == list(offsets)
+
+
+def test_acquire_many_batch_tensor_matches_wrapped_grid(batch_platform):
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, "HT2")
+    simulator.clear_caches()
+    tensor, offsets = simulator.acquire_many_batch_tensor(
+        duts, STIMULI, KEY,
+        [np.random.default_rng(700 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    simulator.clear_caches()
+    grid = simulator.acquire_many_batch(
+        duts, STIMULI, KEY,
+        [np.random.default_rng(700 + die) for die in range(len(duts))],
+        new_setup_installation=True,
+    )
+    assert tensor.shape[:2] == (len(STIMULI), len(duts))
+    for column, trace_list in enumerate(grid):
+        for row, trace in enumerate(trace_list):
+            assert np.array_equal(tensor[row, column], trace.samples)
+            assert trace.cycle_sample_offsets == list(offsets)
+
+
+def test_population_tensors_match_trace_acquisition(batch_platform):
+    """The tensor-resident population equals the EMTrace population."""
+    trojans = ("HT1", "HT_seq")
+    tensors = batch_platform.acquire_population_tensors(trojans)
+    golden_traces, infected_traces = (
+        batch_platform.acquire_population_traces(trojans)
+    )
+    for row, trace in enumerate(golden_traces):
+        assert np.array_equal(tensors.golden[row], trace.samples)
+        assert tensors.golden_labels[row] == trace.label
+    for name in trojans:
+        for row, trace in enumerate(infected_traces[name]):
+            assert np.array_equal(tensors.infected[name][row], trace.samples)
+    wrapped_golden, wrapped_infected = tensors.to_traces()
+    for wrapped, trace in zip(wrapped_golden, golden_traces):
+        assert np.array_equal(wrapped.samples, trace.samples)
+        assert wrapped.label == trace.label
+        assert wrapped.plaintext == trace.plaintext
+        assert wrapped.sample_period_ns == trace.sample_period_ns
+        assert wrapped.cycle_sample_offsets == trace.cycle_sample_offsets
+    for name in trojans:
+        for wrapped, trace in zip(wrapped_infected[name],
+                                  infected_traces[name]):
+            assert np.array_equal(wrapped.samples, trace.samples)
+
+
+def test_average_stimulus_tensor_matches_trace_average(batch_platform):
+    from repro.core.pipeline import (
+        average_stimulus_tensor,
+        average_stimulus_traces,
+    )
+
+    simulator = batch_platform.em_simulator
+    duts = _duts(batch_platform, "HT3")
+    simulator.clear_caches()
+    tensor, _ = simulator.acquire_many_batch_tensor(
+        duts, STIMULI, KEY,
+        [np.random.default_rng(800 + die) for die in range(len(duts))],
+    )
+    simulator.clear_caches()
+    grid = simulator.acquire_many_batch(
+        duts, STIMULI, KEY,
+        [np.random.default_rng(800 + die) for die in range(len(duts))],
+    )
+    averaged_matrix = average_stimulus_tensor(tensor)
+    averaged_traces = average_stimulus_traces(grid)
+    for row, trace in enumerate(averaged_traces):
+        assert np.array_equal(averaged_matrix[row], trace.samples)
+
+
+def test_stimulus_tensors_match_averaged_traces(batch_platform):
+    """acquire_population_tensors_stimuli equals the serial average path."""
+    from repro.core.pipeline import average_stimulus_traces
+
+    trojans = ("HT1",)
+    batch_platform.em_simulator.clear_caches()
+    tensors = batch_platform.acquire_population_tensors_stimuli(
+        trojans, STIMULI)
+    batch_platform.em_simulator.clear_caches()
+    golden_grid, infected_grid = (
+        batch_platform.acquire_population_traces_stimuli(trojans, STIMULI)
+    )
+    for row, trace in enumerate(average_stimulus_traces(golden_grid)):
+        assert np.array_equal(tensors.golden[row], trace.samples)
+    for name in trojans:
+        for row, trace in enumerate(
+                average_stimulus_traces(infected_grid[name])):
+            assert np.array_equal(tensors.infected[name][row], trace.samples)
+
+
+def test_delay_difference_batch_matches_serial(batch_platform):
+    from repro.core.delay_detector import DelayDetector
+    from repro.core.fingerprint import DelayFingerprint
+
+    meter = batch_platform.delay_meter
+    pairs = generate_pk_pairs(2, seed=19)
+    golden_dut = batch_platform.golden_dut(0, label="GM")
+    fingerprint_measurement = meter.measure_batch(
+        [golden_dut], pairs, None, seeds=[3])[0]
+    glitch = {
+        pair.index: pair_measurement.glitch
+        for pair, pair_measurement in zip(pairs,
+                                          fingerprint_measurement.pairs)
+    }
+    detector = DelayDetector(
+        DelayFingerprint.from_measurement(fingerprint_measurement))
+    duts = [batch_platform.golden_dut(die) for die in range(NUM_DIES)]
+    duts += [batch_platform.infected_dut("HT_comb", die)
+             for die in range(NUM_DIES)]
+    measurements = meter.measure_batch(duts, pairs, glitch,
+                                       seeds=list(range(40, 40 + len(duts))))
+    batched = detector.difference_ps_batch(measurements)
+    assert batched.shape[0] == len(measurements)
+    for index, measurement in enumerate(measurements):
+        assert np.array_equal(batched[index],
+                              detector.difference_ps(measurement))
+    assert detector.difference_ps_batch([]).shape == (
+        0, *detector.fingerprint.mean_steps.shape)
+
+
+def test_campaign_em_rows_match_serial_scoring(batch_platform):
+    """Campaign cell mu/sigma/FN are bit-identical to the serial loops."""
+    from repro.analysis.gaussian import fit_gaussian, pooled_std
+    from repro.campaigns import CampaignEngine, CampaignSpec
+    from repro.campaigns.engine import build_metric
+    from repro.core.metrics import false_negative_rate
+
+    spec = CampaignSpec(
+        name="batch-equivalence", trojans=("HT1", "HT3"), die_counts=(3,),
+        metrics=("local_maxima_sum", "l1", "max_difference"), seed=31,
+    )
+    engine = CampaignEngine(spec, golden=batch_platform.golden)
+    result = engine.run()
+    for cell, cell_result in zip(spec.grid(), result.cells):
+        golden_traces, infected_traces = engine.acquire_cell_traces(cell)
+        metric = build_metric(cell.metric)
+        reference = np.mean([trace.samples for trace in golden_traces],
+                            axis=0)
+        genuine_scores = metric.scores_serial(golden_traces, reference)
+        genuine_fit = fit_gaussian(genuine_scores)
+        assert cell_result.golden_score_mean == float(genuine_fit.mean)
+        assert cell_result.golden_score_std == float(genuine_fit.std)
+        for row in cell_result.rows:
+            infected_scores = metric.scores_serial(
+                infected_traces[row.trojan], reference)
+            infected_fit = fit_gaussian(infected_scores)
+            mu = infected_fit.mean - genuine_fit.mean
+            sigma = pooled_std(genuine_scores, infected_scores)
+            assert row.mu == float(mu)
+            assert row.sigma == float(sigma)
+            assert row.false_negative_rate == false_negative_rate(mu, sigma)
+
+
+def test_campaign_delay_rows_match_serial_scoring(batch_platform):
+    """Delay cells' batched scorers equal the per-die serial scorers."""
+    from repro.analysis.gaussian import fit_gaussian, pooled_std
+    from repro.campaigns import CampaignEngine, CampaignSpec
+    from repro.campaigns.engine import build_delay_scorer
+    from repro.core.metrics import false_negative_rate
+
+    spec = CampaignSpec(
+        name="delay-batch-equivalence", trojans=("HT_comb",),
+        die_counts=(3,),
+        metrics=("delay_max_difference", "delay_mean_pair_max"),
+        num_pk_pairs=2, delay_repetitions=3, seed=31,
+    )
+    engine = CampaignEngine(spec, golden=batch_platform.golden)
+    result = engine.run()
+    for cell, cell_result in zip(spec.grid(), result.cells):
+        data = engine.delay_study_data(cell)
+        scorer = build_delay_scorer(cell.metric)
+        genuine_scores = np.array(
+            [scorer(plane) for plane in data.golden_differences])
+        genuine_fit = fit_gaussian(genuine_scores)
+        assert cell_result.golden_score_mean == float(genuine_fit.mean)
+        for row in cell_result.rows:
+            infected_scores = np.array(
+                [scorer(plane)
+                 for plane in data.infected_differences[row.trojan]])
+            mu = float(fit_gaussian(infected_scores).mean - genuine_fit.mean)
+            sigma = float(pooled_std(genuine_scores, infected_scores))
+            assert row.mu == mu
+            assert row.sigma == sigma
+            assert row.false_negative_rate == false_negative_rate(mu, sigma)
+
+
+def test_population_study_matches_serial_replica(batch_platform):
+    """The tensor-resident Sec. V study equals a fully serial replica."""
+    from repro.analysis.gaussian import fit_gaussian, pooled_std
+    from repro.core.metrics import LocalMaximaSumMetric, false_negative_rate
+
+    trojans = ("HT1", "HT_seq")
+    study = batch_platform.run_population_em_study(trojan_names=trojans)
+    golden_serial, infected_serial = (
+        batch_platform.acquire_population_traces_serial(trojans)
+    )
+    metric = LocalMaximaSumMetric()
+    reference = np.mean([trace.samples for trace in golden_serial], axis=0)
+    assert np.array_equal(study.reference.mean, reference)
+    genuine_scores = metric.scores_serial(golden_serial, reference)
+    for name in trojans:
+        infected_scores = metric.scores_serial(infected_serial[name],
+                                               reference)
+        mu = fit_gaussian(infected_scores).mean \
+            - fit_gaussian(genuine_scores).mean
+        sigma = pooled_std(genuine_scores, infected_scores)
+        char = study.characterisations[name]
+        assert char.mu == float(mu)
+        assert char.sigma == float(sigma)
+        assert char.false_negative_rate == false_negative_rate(mu, sigma)
+    # The report-boundary EMTrace objects carry the serial samples.
+    for study_trace, serial_trace in zip(study.golden_traces, golden_serial):
+        assert np.array_equal(study_trace.samples, serial_trace.samples)
+        assert study_trace.label == serial_trace.label

@@ -130,8 +130,12 @@ def test_engine_shares_infected_designs_and_acquisitions(small_campaign):
     engine, _ = small_campaign
     # one insertion per trojan for the whole grid
     assert set(engine._infected_cache) == {"HT1", "HT3"}
-    # cells differing only in metric share one acquisition
-    assert len(engine._acquisition_cache) == 2
+    # cells differing only in metric share one acquisition; without a
+    # store or trace archiving the populations stay tensor-resident
+    # (no EMTrace objects are ever built)
+    assert len(engine._tensor_cache) == 2
+    assert len(engine._matrix_cache) == 2
+    assert len(engine._acquisition_cache) == 0
     # bigger trojan is easier to catch under every scenario
     for cell in engine._platform_cache.values():
         assert cell.golden is engine.golden
