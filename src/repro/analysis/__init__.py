@@ -1,4 +1,4 @@
-"""Analysis toolkit: traces, local maxima, Gaussian fits, ROC, statistics.
+"""Analysis toolkit: traces, local maxima, Gaussian fits, ROC, DFA, statistics.
 
 The scalar primitives each have a batched, matrix-resident counterpart
 in :mod:`repro.analysis.batch` that is bit-identical per row; the
@@ -25,7 +25,16 @@ from .local_maxima import (
     local_maxima_values,
     sum_of_local_maxima,
 )
-from .roc import ROCCurve, roc_curve
+from .dfa import (
+    DFAResult,
+    FaultLocalisation,
+    RecoveredKeyByte,
+    dfa_key_scores,
+    dfa_key_scores_serial,
+    localise_faults,
+    recover_last_round_key,
+)
+from .roc import ROCCurve, roc_curve, roc_curve_serial
 from .stats import (
     bootstrap_mean_ci,
     empirical_rate,
@@ -60,8 +69,16 @@ __all__ = [
     "find_local_maxima",
     "local_maxima_values",
     "sum_of_local_maxima",
+    "DFAResult",
+    "FaultLocalisation",
+    "RecoveredKeyByte",
+    "dfa_key_scores",
+    "dfa_key_scores_serial",
+    "localise_faults",
+    "recover_last_round_key",
     "ROCCurve",
     "roc_curve",
+    "roc_curve_serial",
     "bootstrap_mean_ci",
     "empirical_rate",
     "mad",

@@ -26,6 +26,7 @@ from .spec import (
     GridCell,
     KNOWN_DELAY_METRICS,
     KNOWN_EM_METRICS,
+    KNOWN_FAULT_METRICS,
     KNOWN_METRICS,
     apply_em_overrides,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "AcquisitionVariant",
     "KNOWN_DELAY_METRICS",
     "KNOWN_EM_METRICS",
+    "KNOWN_FAULT_METRICS",
     "KNOWN_METRICS",
     "CampaignCellResult",
     "CampaignEngine",

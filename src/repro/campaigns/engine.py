@@ -76,8 +76,15 @@ from ..fpga.design import GoldenDesign
 from ..fpga.device import FPGADevice, virtex5_lx30
 from ..io.results import save_result, save_summary_csv
 from ..io.tracefile import save_traces
+from ..attacks.glitch_grid import (
+    GlitchGrid,
+    device_fault_coverages,
+    synthesise_faulted_sweep,
+)
+from ..crypto.batch import as_block_matrix, expand_keys, round_states_with_keys
 from ..measurement.delay_meter import (
     DelayMeasurementConfig,
+    PlaintextKeyPair,
     generate_pk_pairs,
 )
 from ..measurement.em_simulator import EMTrace
@@ -86,13 +93,16 @@ from ..store import (
     ArtifactStore,
     cell_result_key,
     delay_differences_key,
+    fault_sweep_key,
     golden_signature,
     infected_summary_key,
     pack_delay_differences,
+    pack_fault_sweep,
     pack_population_traces,
     population_traces_key,
     spec_content_fragment,
     unpack_delay_differences,
+    unpack_fault_sweep,
     unpack_population_traces,
 )
 from ..trojan.insertion import InfectedDesign, insert_trojan
@@ -183,6 +193,24 @@ class _DelayStudyData:
 
     golden_differences: "np.ndarray"
     infected_differences: Dict[str, "np.ndarray"]
+
+
+@dataclass
+class _FaultSweepData:
+    """Cached faulted-ciphertext tensors of one glitch-grid sweep.
+
+    ``correct`` is the ``(N, 16)`` fault-free capture of the attacked
+    round per stimulus; the faulted tensors are ``(dies, grid points,
+    N, 16)`` — ``golden_faulted[die]`` the clean control,
+    ``infected_faulted[trojan][die]`` the infected device on that die.
+    ``grid`` is the *resolved* glitch grid (after auto-calibration).
+    """
+
+    grid: GlitchGrid
+    plaintexts: "np.ndarray"
+    correct: "np.ndarray"
+    golden_faulted: "np.ndarray"
+    infected_faulted: Dict[str, "np.ndarray"]
 
 
 @dataclass
@@ -306,9 +334,24 @@ class CampaignResult:
         directory.mkdir(parents=True, exist_ok=True)
         summary_path = save_result(directory / f"{self.spec.name}.json",
                                    self.to_dict())
-        save_summary_csv(directory / f"{self.spec.name}.csv",
-                         [row.to_dict() for row in self.rows()])
+        rows = [row.to_dict() for row in self.rows()]
+        # A shard of a small grid can legitimately hold zero cells; the
+        # JSON summary (which campaign merge consumes) is still written,
+        # only the CSV — whose column set is undefined with no rows — is
+        # skipped.
+        if rows:
+            save_summary_csv(directory / f"{self.spec.name}.csv", rows)
         return summary_path
+
+
+def _format_score(value: float) -> str:
+    """Row-table number format across metric scales.
+
+    EM separations are in the thousands, fault-coverage separations are
+    fractions of 1 — integers for the former, three decimals for the
+    latter, instead of collapsing every sub-unit value to ``0``.
+    """
+    return f"{value:.0f}" if abs(value) >= 10.0 else f"{value:.3f}"
 
 
 def format_campaign_rows(rows: Sequence[Mapping[str, Any]]) -> str:
@@ -319,7 +362,7 @@ def format_campaign_rows(rows: Sequence[Mapping[str, Any]]) -> str:
         [str(row["cell_index"]), str(row["num_dies"]), str(row["variant"]),
          str(row["metric"]), str(row["trojan"]),
          f"{100.0 * row['area_fraction']:.2f}%",
-         f"{row['mu']:.0f}", f"{row['sigma']:.0f}",
+         _format_score(row["mu"]), _format_score(row["sigma"]),
          f"{100.0 * row['false_negative_rate']:.1f}%",
          f"{100.0 * row['detection_probability']:.1f}%"]
         for row in rows
@@ -374,6 +417,9 @@ class CampaignEngine:
         #: bench is not affected by the EM acquisition variant, so cells
         #: that differ only in variant or metric share one measurement).
         self._delay_cache: Dict[int, "_DelayStudyData"] = {}
+        #: Fault-sweep tensors keyed by die count (the glitch bench is
+        #: likewise independent of the EM acquisition variant).
+        self._fault_cache: Dict[int, "_FaultSweepData"] = {}
         self._area_fraction_cache: Dict[str, float] = {}
         self._artifact_dir: Optional[Path] = None
         self._saved_archives: Dict[Tuple[int, str], str] = {}
@@ -665,13 +711,205 @@ class CampaignEngine:
             )
         return self._delay_cache[num_dies]
 
+    def _spec_glitch_grid(self) -> Optional[GlitchGrid]:
+        """The spec's explicit glitch grid, or None for auto-calibration."""
+        if not self.spec.glitch_offsets_ps:
+            return None
+        return GlitchGrid(
+            offsets_ps=self.spec.glitch_offsets_ps,
+            widths_ps=self.spec.glitch_widths_ps,
+            periods_ps=self.spec.glitch_periods_ps,
+        )
+
+    def _fault_sweep_store_key(self, num_dies: int) -> Optional[str]:
+        if self.store is None:
+            return None
+        return fault_sweep_key(
+            device=self.device, golden=self._golden_signature,
+            delay_config=DelayMeasurementConfig(
+                repetitions=self.spec.delay_repetitions,
+                seed=self.spec.seed,
+            ),
+            seed=self.spec.seed, num_dies=num_dies,
+            trojans=self.spec.trojans, key=self.spec.key,
+            plaintexts=self.spec.stimulus_plaintexts(),
+            offsets_ps=self.spec.glitch_offsets_ps,
+            widths_ps=self.spec.glitch_widths_ps,
+            periods_ps=self.spec.glitch_periods_ps,
+        )
+
+    def fault_sweep_data(self, cell: GridCell) -> "_FaultSweepData":
+        """Synthesise (or reuse) the glitch-grid sweep of one grid cell.
+
+        One batched fault-injection campaign per die count: per-bit
+        arrival times of every (device, stimulus) come from one
+        :meth:`~repro.measurement.delay_meter.PathDelayMeter.batch_arrival_times`
+        sweep, the attacked round's correct/stale register states from
+        one batched-AES pass, and each device's whole (grid x stimulus)
+        faulted-ciphertext tensor from one vectorised
+        :func:`~repro.attacks.glitch_grid.synthesise_faulted_sweep`
+        call.  Cells that differ only in the EM variant share the sweep;
+        with a store attached the tensors read through it (the resolved
+        grid axes travel in the payload, so warm runs skip calibration
+        and the golden build entirely).
+        """
+        num_dies = cell.num_dies
+        if num_dies in self._fault_cache:
+            return self._fault_cache[num_dies]
+        store_key = self._fault_sweep_store_key(num_dies)
+        if store_key is not None and store_key in self.store:
+            axes, plaintexts, correct, golden_faulted, infected_faulted = (
+                unpack_fault_sweep(self.store.get_arrays(store_key))
+            )
+            self._fault_cache[num_dies] = _FaultSweepData(
+                grid=GlitchGrid(
+                    offsets_ps=tuple(axes["offsets_ps"]),
+                    widths_ps=tuple(axes["widths_ps"]),
+                    periods_ps=tuple(axes["periods_ps"]),
+                ),
+                plaintexts=plaintexts,
+                correct=correct,
+                golden_faulted=golden_faulted,
+                infected_faulted=infected_faulted,
+            )
+            return self._fault_cache[num_dies]
+        spec = self.spec
+        platform = self.platform_for(cell)
+        meter = platform.delay_meter
+        plaintexts = spec.stimulus_plaintexts()
+        pairs = [PlaintextKeyPair(index=index, plaintext=plaintext,
+                                  key=spec.key)
+                 for index, plaintext in enumerate(plaintexts)]
+
+        duts = []
+        for die_index in range(num_dies):
+            duts.append(platform.golden_dut(die_index,
+                                            label=f"Clean_die{die_index}"))
+        for name in spec.trojans:
+            for die_index in range(num_dies):
+                duts.append(platform.infected_dut(name, die_index))
+        arrivals = meter.batch_arrival_times(duts, pairs)
+
+        # Correct/stale capture values of the attacked round, straight
+        # from the batched cipher (row r = register content entering
+        # round r, exactly as in the fault staircase).
+        attacked = meter.config.attacked_round
+        round_keys = expand_keys(spec.key)
+        states = round_states_with_keys(as_block_matrix(plaintexts),
+                                        round_keys)
+        num_rounds = states.shape[1] - 2
+        if not 2 <= attacked <= num_rounds:
+            raise ValueError(
+                f"attacked_round must be in 2..{num_rounds}, got {attacked}"
+            )
+        correct = states[:, attacked + 1]
+        stale = states[:, attacked]
+
+        grid = self._spec_glitch_grid()
+        if grid is None:
+            # Same calibration philosophy as the delay sweeps: centre
+            # the grid on the golden die-0 worst observed path.
+            worst = float(np.nanmax(arrivals[0]))
+            grid = GlitchGrid.calibrated(worst, meter.config.budget)
+
+        # One seed per device position (offset 500 keeps the streams
+        # disjoint from the delay campaign's +100 block).
+        faulted = np.stack([
+            synthesise_faulted_sweep(
+                meter.config.fault_model, grid, correct, stale,
+                arrivals[position],
+                np.random.default_rng(spec.seed + 500 + position),
+            )
+            for position in range(len(duts))
+        ])
+        infected_faulted: Dict[str, np.ndarray] = {}
+        for trojan_index, name in enumerate(spec.trojans):
+            begin = num_dies * (1 + trojan_index)
+            infected_faulted[name] = faulted[begin:begin + num_dies]
+        self._fault_cache[num_dies] = _FaultSweepData(
+            grid=grid,
+            plaintexts=as_block_matrix(plaintexts),
+            correct=correct,
+            golden_faulted=faulted[:num_dies],
+            infected_faulted=infected_faulted,
+        )
+        if store_key is not None:
+            self.store.put_arrays(
+                store_key,
+                pack_fault_sweep(
+                    {"offsets_ps": grid.offsets_ps,
+                     "widths_ps": grid.widths_ps,
+                     "periods_ps": grid.periods_ps},
+                    as_block_matrix(plaintexts), correct,
+                    faulted[:num_dies], infected_faulted,
+                ),
+                kind="fault_sweep",
+                meta={"num_dies": num_dies,
+                      "num_grid_points": grid.num_points,
+                      "num_plaintexts": len(plaintexts)},
+            )
+        return self._fault_cache[num_dies]
+
     # -- execution ----------------------------------------------------------------
 
     def run_cell(self, cell: GridCell) -> CampaignCellResult:
-        """Execute one grid cell (EM acquisition or delay study)."""
+        """Execute one grid cell (EM acquisition, delay study or fault sweep)."""
         if cell.is_delay:
             return self._run_delay_cell(cell)
+        if cell.is_fault:
+            return self._run_fault_cell(cell)
         return self._run_em_cell(cell)
+
+    def _run_fault_cell(self, cell: GridCell) -> CampaignCellResult:
+        """Score one fault-sweep cell from the cached ciphertext tensors.
+
+        Same Gaussian characterisation as the delay cells, with the
+        per-die score being the device's *fault coverage* over the
+        glitch grid — a trojan's altered path delays shift which grid
+        points fault, separating the infected population from the clean
+        one.  Scoring is one
+        :func:`~repro.attacks.glitch_grid.device_fault_coverages` pass
+        per population, then batched fits / Eq. (5) rates.
+        """
+        start = time.perf_counter()
+        data = self.fault_sweep_data(cell)
+        genuine_scores = device_fault_coverages(data.correct,
+                                                data.golden_faulted)
+        genuine_fit = fit_gaussian(genuine_scores)
+        infected_score_matrix = np.stack(
+            [device_fault_coverages(data.correct,
+                                    data.infected_faulted[name])
+             for name in self.spec.trojans]
+        ) if self.spec.trojans else np.zeros((0, genuine_scores.size))
+        infected_means, _ = fit_gaussians_batch(infected_score_matrix)
+        mus = infected_means - genuine_fit.mean
+        sigmas = pooled_std_batch(genuine_scores, infected_score_matrix)
+        fn_rates = false_negative_rates(mus, sigmas)
+        rows = []
+        for trojan_index, name in enumerate(self.spec.trojans):
+            fn_rate = float(fn_rates[trojan_index])
+            rows.append(CampaignRow(
+                cell_index=cell.index,
+                num_dies=cell.num_dies,
+                variant=cell.variant.name,
+                metric=cell.metric,
+                trojan=name,
+                area_fraction=self.trojan_area_fraction(name),
+                mu=float(mus[trojan_index]),
+                sigma=float(sigmas[trojan_index]),
+                false_negative_rate=fn_rate,
+                detection_probability=1.0 - fn_rate,
+            ))
+        return CampaignCellResult(
+            index=cell.index,
+            num_dies=cell.num_dies,
+            variant=cell.variant.name,
+            metric=cell.metric,
+            rows=rows,
+            golden_score_mean=float(genuine_fit.mean),
+            golden_score_std=float(genuine_fit.std),
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def _run_delay_cell(self, cell: GridCell) -> CampaignCellResult:
         """Score one delay-study cell from the cached difference tensors.
@@ -790,13 +1028,14 @@ class CampaignEngine:
         if self._artifact_dir is None or not self.spec.save_traces:
             return None
         cache_key = cell.acquisition_key
-        # Delay cells acquire no EM traces, so ownership is decided
-        # among the EM cells of the acquisition key only — and, in a
-        # sharded run, among the cells this invocation actually covers
-        # (the full-grid owner may live in another shard).
+        # Delay and fault-sweep cells acquire no EM traces, so ownership
+        # is decided among the EM cells of the acquisition key only —
+        # and, in a sharded run, among the cells this invocation
+        # actually covers (the full-grid owner may live in another
+        # shard).
         owner = min(other.index for other in self.spec.grid()
                     if other.acquisition_key == cache_key
-                    and not other.is_delay
+                    and not other.is_delay and not other.is_fault
                     and (self._active_indices is None
                          or other.index in self._active_indices))
         archive = (self._artifact_dir

@@ -46,8 +46,14 @@ KNOWN_EM_METRICS = ("local_maxima_sum", "l1", "max_difference")
 #: across the die population instead of an EM acquisition.
 KNOWN_DELAY_METRICS = ("delay_max_difference", "delay_mean_pair_max")
 
+#: Fault-attack metrics: a grid cell carrying one of these runs a
+#: glitch-grid fault-injection sweep (:mod:`repro.attacks`) across the
+#: die population and scores each device by the fraction of
+#: (grid point, stimulus) captures with at least one faulted byte.
+KNOWN_FAULT_METRICS = ("fault_coverage",)
+
 #: All metric names accepted by ``CampaignSpec.metrics``.
-KNOWN_METRICS = KNOWN_EM_METRICS + KNOWN_DELAY_METRICS
+KNOWN_METRICS = KNOWN_EM_METRICS + KNOWN_DELAY_METRICS + KNOWN_FAULT_METRICS
 
 
 
@@ -146,6 +152,11 @@ class GridCell:
         """True if this cell runs the delay study rather than an EM one."""
         return self.metric in KNOWN_DELAY_METRICS
 
+    @property
+    def is_fault(self) -> bool:
+        """True if this cell runs a glitch-grid fault-injection sweep."""
+        return self.metric in KNOWN_FAULT_METRICS
+
     def describe(self) -> str:
         return (f"cell {self.index}: {self.num_dies} dies, "
                 f"variant {self.variant.name!r}, metric {self.metric!r}")
@@ -173,6 +184,14 @@ class CampaignSpec:
     #: random plaintexts through the batched whole-stimulus kernel and
     #: scores each die on its stimulus-averaged trace.
     num_plaintexts: int = 1
+    #: Glitch-grid axes of the fault-injection sweep cells
+    #: (``fault_coverage`` metric): glitch offsets, pulse widths and
+    #: nominal clock periods, in ps.  Empty tuples (the default) let the
+    #: engine auto-calibrate the grid on the golden die's worst observed
+    #: path, mirroring the delay sweeps' calibration.
+    glitch_offsets_ps: Tuple[float, ...] = ()
+    glitch_widths_ps: Tuple[float, ...] = ()
+    glitch_periods_ps: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         self.trojans = tuple(self.trojans)
@@ -215,6 +234,19 @@ class CampaignSpec:
             raise ValueError("delay_repetitions must be >= 1")
         if self.num_plaintexts < 1:
             raise ValueError("num_plaintexts must be >= 1")
+        for axis_name in ("glitch_offsets_ps", "glitch_widths_ps",
+                          "glitch_periods_ps"):
+            values = tuple(float(v) for v in getattr(self, axis_name))
+            if values and min(values) <= 0:
+                raise ValueError(f"{axis_name} must all be positive")
+            setattr(self, axis_name, values)
+        axes = (self.glitch_offsets_ps, self.glitch_widths_ps,
+                self.glitch_periods_ps)
+        if any(axes) and not all(axes):
+            raise ValueError(
+                "glitch grid axes must be given together (offsets, widths "
+                "and periods) or all left empty for auto-calibration"
+            )
 
     def stimulus_plaintexts(self) -> List[bytes]:
         """The EM stimulus set of this campaign.
@@ -233,17 +265,17 @@ class CampaignSpec:
     def grid(self) -> List[GridCell]:
         """Expand the spec into its ordered list of grid cells.
 
-        Delay metrics are emitted once per die count (under the first
-        variant): the clock-glitch bench is not configured by the EM
-        acquisition overrides, so crossing delay cells with every
-        variant would only duplicate identical rows and, with a process
-        pool, re-run identical measurements.
+        Delay and fault-sweep metrics are emitted once per die count
+        (under the first variant): the clock-glitch bench is not
+        configured by the EM acquisition overrides, so crossing those
+        cells with every variant would only duplicate identical rows
+        and, with a process pool, re-run identical measurements.
         """
         cells: List[GridCell] = []
         for num_dies in self.die_counts:
             for variant_index, variant in enumerate(self.variants):
                 for metric in self.metrics:
-                    if variant_index and metric in KNOWN_DELAY_METRICS:
+                    if variant_index and metric not in KNOWN_EM_METRICS:
                         continue
                     cells.append(GridCell(
                         index=len(cells),
@@ -305,6 +337,9 @@ class CampaignSpec:
             "num_pk_pairs": self.num_pk_pairs,
             "delay_repetitions": self.delay_repetitions,
             "num_plaintexts": self.num_plaintexts,
+            "glitch_offsets_ps": list(self.glitch_offsets_ps),
+            "glitch_widths_ps": list(self.glitch_widths_ps),
+            "glitch_periods_ps": list(self.glitch_periods_ps),
         }
 
     @classmethod

@@ -17,6 +17,13 @@ Sub-commands:
   runs one deterministic partition of the grid; ``campaign merge``
   fuses shard result directories back into one full-grid summary;
   ``campaign report`` pretty-prints a stored summary.
+* ``attack``     — fault-injection attack campaigns: ``attack sweep``
+  drives a (clock period x glitch offset x pulse width) grid over the
+  die population as a ``fault_coverage`` campaign cell (shardable and
+  resumable through ``--store`` exactly like ``campaign run``);
+  ``attack recover`` replays the stored sweep through the DFA
+  analyzer (:mod:`repro.analysis.dfa`) and prints the recovered
+  last-round key bytes with their fault localisation.
 
 Every study command accepts ``--quick`` (reduced campaign, same code
 paths) and ``--seed``.
@@ -229,6 +236,105 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attack_spec(args: argparse.Namespace):
+    """Build the fault-sweep campaign spec shared by ``attack`` commands.
+
+    ``attack sweep`` and ``attack recover`` must agree on every spec
+    field that feeds the artifact-store keys (seed, stimuli, die count,
+    glitch axes), so both build the spec here from the same flags.
+    """
+    from .campaigns import AcquisitionVariant, CampaignSpec
+
+    spec = CampaignSpec(
+        name=args.name,
+        trojans=tuple(args.trojan or ("HT1",)),
+        die_counts=tuple(args.dies or (3,)),
+        variants=(AcquisitionVariant.make("paper"),),
+        metrics=("fault_coverage",),
+        num_plaintexts=args.plaintexts,
+        glitch_offsets_ps=tuple(args.offset or ()),
+        glitch_widths_ps=tuple(args.width or ()),
+        glitch_periods_ps=tuple(args.period or ()),
+    )
+    if args.seed is not None:
+        spec.seed = args.seed
+    return spec
+
+
+def cmd_attack_sweep(args: argparse.Namespace) -> int:
+    from .campaigns import CampaignEngine
+
+    spec = _attack_spec(args)
+    if args.workers is not None:
+        spec.workers = args.workers
+    engine = CampaignEngine(spec, store=args.store)
+    result = engine.run(artifact_dir=args.out, shard=args.shard)
+    print(result.report())
+    shard_note = (f" (shard {args.shard[0]}/{args.shard[1]} of "
+                  f"{spec.num_cells()})" if args.shard else "")
+    print(f"\n{len(result.cells)} grid cells{shard_note} "
+          f"in {result.elapsed_s:.2f} s")
+    if args.out is not None:
+        print(f"summary written to {args.out}")
+    if args.store is not None:
+        print(f"artifact store: {args.store}")
+    return 0
+
+
+def cmd_attack_recover(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.dfa import localise_faults
+    from .attacks import recover_from_sweep
+    from .campaigns import CampaignEngine
+    from .crypto.keyschedule import last_round_key
+
+    spec = _attack_spec(args)
+    engine = CampaignEngine(spec, store=args.store)
+    cell = next(cell for cell in spec.grid() if cell.is_fault)
+    data = engine.fault_sweep_data(cell)
+    grid = data.grid
+    print(f"glitch grid: {len(grid.periods_ps)} period(s) x "
+          f"{len(grid.offsets_ps)} offset(s) x {len(grid.widths_ps)} "
+          f"width(s) = {grid.num_points} points")
+    print(f"golden sweep: {data.golden_faulted.shape[0]} dies x "
+          f"{grid.num_points} points x {data.correct.shape[0]} stimuli")
+
+    flat_faulted = data.golden_faulted.reshape(-1, 16)
+    flat_correct = np.broadcast_to(
+        data.correct, data.golden_faulted.shape).reshape(-1, 16)
+    localisation = localise_faults(flat_correct, flat_faulted)
+    print(f"fault localisation: register bytes "
+          f"{localisation.covered_bytes()}, faulted fraction "
+          f"{percentage(localisation.faulted_fraction)}, last-round "
+          f"consistent: {localisation.last_round_consistent}")
+
+    dfa = recover_from_sweep(data.correct, data.golden_faulted,
+                             min_evidence_bits=args.min_evidence)
+    expected = last_round_key(spec.key)
+    print(f"\nrecovered last-round key bytes "
+          f"({dfa.num_recovered}/16, {dfa.num_faults} faulted captures):")
+    for entry in dfa.bytes:
+        if entry.value is None:
+            continue
+        verdict = "correct" if expected[entry.position] == entry.value \
+            else "WRONG"
+        print(f"  key[{entry.position:2d}] = 0x{entry.value:02X} "
+              f"({verdict})  faults={entry.num_faults} "
+              f"evidence={entry.evidence_bits} bits "
+              f"stimuli={entry.num_stimuli} margin={entry.margin:.0f}")
+    print(f"expected last-round key: {expected.hex()}")
+    print(f"all recovered bytes match: {dfa.matches(expected)}")
+
+    for name, tensor in data.infected_faulted.items():
+        infected = recover_from_sweep(data.correct, tensor,
+                                      min_evidence_bits=args.min_evidence)
+        print(f"infected {name}: {infected.num_recovered}/16 bytes, "
+              f"all match: {infected.matches(expected)}")
+
+    return 0 if dfa.num_recovered >= 1 and dfa.matches(expected) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ht",
@@ -332,6 +438,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--out", default=None,
                          help="directory for the merged JSON/CSV summary")
     p_merge.set_defaults(func=cmd_campaign_merge)
+
+    p_attack = subparsers.add_parser(
+        "attack", help="fault-injection attacks: glitch-grid sweeps + DFA"
+    )
+    attack_sub = p_attack.add_subparsers(dest="attack_command", required=True)
+
+    def _add_attack_spec_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--name", default="attack", help="campaign name")
+        sub.add_argument("--trojan", action="append", default=None,
+                         help="trojan name (repeatable; default HT1)")
+        sub.add_argument("--dies", action="append", type=int, default=None,
+                         help="die-population size (repeatable; default 3)")
+        sub.add_argument("--plaintexts", type=int, default=4,
+                         help="stimulus diversity: the fixed plaintext plus "
+                              "N-1 seed-derived random plaintexts (DFA needs "
+                              ">= 2 distinct stimuli; default 4)")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="override the campaign seed")
+        sub.add_argument("--offset", action="append", type=float,
+                         default=None, metavar="PS",
+                         help="glitch offset in ps (repeatable); omit all "
+                              "three axes to auto-calibrate the grid on the "
+                              "golden die's worst path")
+        sub.add_argument("--width", action="append", type=float,
+                         default=None, metavar="PS",
+                         help="glitch pulse width in ps (repeatable)")
+        sub.add_argument("--period", action="append", type=float,
+                         default=None, metavar="PS",
+                         help="nominal clock period in ps (repeatable)")
+        sub.add_argument("--store", default=None,
+                         help="content-addressed artifact store directory: "
+                              "sweeps persist there and recover replays "
+                              "them without re-synthesis")
+
+    p_sweep = attack_sub.add_parser(
+        "sweep", help="run a glitch-grid fault sweep over the die population"
+    )
+    _add_attack_spec_options(p_sweep)
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for independent grid cells")
+    p_sweep.add_argument("--out", default=None,
+                         help="directory for the JSON/CSV summary")
+    p_sweep.add_argument("--shard", type=_parse_shard, default=None,
+                         metavar="I/N",
+                         help="run only shard I of N (fuse with campaign "
+                              "merge)")
+    p_sweep.set_defaults(func=cmd_attack_sweep)
+
+    p_recover = attack_sub.add_parser(
+        "recover", help="DFA key recovery from a (stored) fault sweep"
+    )
+    _add_attack_spec_options(p_recover)
+    p_recover.add_argument("--min-evidence", type=int, default=8,
+                           dest="min_evidence",
+                           help="minimum faulted bits per key byte before "
+                                "the analyzer commits to a value")
+    p_recover.set_defaults(func=cmd_attack_recover)
 
     return parser
 

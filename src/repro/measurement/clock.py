@@ -10,7 +10,10 @@ This module provides:
 
 * :class:`TimingBudget` — the synchronous timing constraint of Eq. (1)
   and Fig. 1 (setup condition of a register-to-register path),
-* :class:`ClockGlitchGenerator` — the swept glitch period sequence.
+* :class:`ClockGlitchGenerator` — the swept glitch period sequence,
+* :class:`GlitchPulse` — one (offset, width) glitch pulse and its
+  effective capture period, the per-point parameterisation of the
+  attack-campaign glitch grids (:mod:`repro.attacks`).
 """
 
 from __future__ import annotations
@@ -67,6 +70,77 @@ class TimingBudget:
         """Largest path delay that still meets setup at ``clock_period_ps``."""
         return (clock_period_ps - self.clk2q_ps - self.setup_ps
                 + self.skew_ps - self.jitter_ps)
+
+
+#: Pulses narrower than this are absorbed by the clock distribution
+#: network and never reach the registers (no premature capture edge).
+DEFAULT_MIN_PULSE_WIDTH_PS = 500.0
+#: Width at which the injected edge is as sharp as a regular clock edge.
+DEFAULT_FULL_STRENGTH_WIDTH_PS = 1500.0
+#: Effective-period penalty per ps of missing width below full strength:
+#: a weak (slow-slewing) glitch edge reaches the registers late, which
+#: behaves like a slightly longer capture period.
+DEFAULT_NARROW_PULSE_SLOWDOWN = 0.5
+
+
+@dataclass(frozen=True)
+class GlitchPulse:
+    """One clock-glitch pulse injected into the attacked round.
+
+    The glitch generator of the attack platform inserts a premature
+    rising edge ``offset_ps`` after the attacked round's launching edge,
+    with a pulse width of ``width_ps``.  The behavioural model maps the
+    pulse to the *effective capture period* the ciphertext register
+    sees:
+
+    * a pulse narrower than ``min_pulse_width_ps`` is filtered by the
+      clock network — the round runs at the nominal period, no faults;
+    * a full-strength pulse captures at ``offset_ps``;
+    * in between, the degraded edge slew adds
+      ``narrow_pulse_slowdown * (full_strength_width_ps - width_ps)``
+      picoseconds to the effective period, so widening the pulse
+      monotonically strengthens the attack.
+
+    This is the (offset x width) half of the attack campaigns' glitch
+    grid; the third axis is the nominal clock period itself.
+    """
+
+    offset_ps: float
+    width_ps: float
+    min_pulse_width_ps: float = DEFAULT_MIN_PULSE_WIDTH_PS
+    full_strength_width_ps: float = DEFAULT_FULL_STRENGTH_WIDTH_PS
+    narrow_pulse_slowdown: float = DEFAULT_NARROW_PULSE_SLOWDOWN
+
+    def __post_init__(self) -> None:
+        if self.offset_ps <= 0:
+            raise ValueError("offset_ps must be positive")
+        if self.width_ps <= 0:
+            raise ValueError("width_ps must be positive")
+        if self.min_pulse_width_ps < 0 or self.full_strength_width_ps < 0:
+            raise ValueError("pulse-width thresholds must be non-negative")
+        if self.min_pulse_width_ps > self.full_strength_width_ps:
+            raise ValueError(
+                "min_pulse_width_ps cannot exceed full_strength_width_ps"
+            )
+        if self.narrow_pulse_slowdown < 0:
+            raise ValueError("narrow_pulse_slowdown must be non-negative")
+
+    def propagates(self) -> bool:
+        """True if the pulse survives the clock network at all."""
+        return self.width_ps >= self.min_pulse_width_ps
+
+    def effective_period_ps(self, nominal_period_ps: float) -> float:
+        """Capture period of the attacked round under this pulse."""
+        if nominal_period_ps <= 0:
+            raise ValueError("nominal_period_ps must be positive")
+        if not self.propagates():
+            return nominal_period_ps
+        degraded = self.offset_ps + self.narrow_pulse_slowdown * max(
+            0.0, self.full_strength_width_ps - self.width_ps
+        )
+        # A glitch edge beyond the nominal period never wins the race
+        # against the regular edge.
+        return min(nominal_period_ps, degraded)
 
 
 @dataclass(frozen=True)

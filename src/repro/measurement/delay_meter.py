@@ -342,19 +342,12 @@ class PathDelayMeter:
 
         noise = config.noise.sample(rng, size=(repetitions, BLOCK_BITS))
         noisy_arrivals = arrivals[None, :] + noise  # (R, 128)
-        required = (config.budget.clk2q_ps + noisy_arrivals
-                    + config.budget.setup_ps - config.budget.skew_ps
-                    + config.budget.jitter_ps)
-        slack = periods[None, None, :] - required[:, :, None]  # (R, 128, S+1)
-
-        window = fault_model.metastability_window_ps
-        if window > 0:
-            probability = np.clip(1.0 - slack / window, 0.0, 1.0)
-        else:
-            probability = (slack <= 0.0).astype(float)
-        # Bits that do not toggle can never be observably faulted.
-        probability = np.where(np.isnan(noisy_arrivals)[:, :, None], 0.0,
-                               probability)
+        # One shared violation law (step at slack <= 0, ramp over the
+        # metastability window, NaN = stable bit) for the whole
+        # (repetition, bit, step) grid.
+        probability = fault_model.violation_probabilities(
+            noisy_arrivals[:, :, None], periods[None, None, :]
+        )  # (R, 128, S+1)
         violated = rng.random(probability.shape) < probability
         # A violated capture is observable unless metastability happens to
         # resolve to the correct value: stale capture (always wrong for a

@@ -14,7 +14,7 @@ ciphertext, with a metastability window and stale/random resolution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -46,7 +46,7 @@ class SetupViolationFaultModel:
         of resolving randomly.
     """
 
-    budget: TimingBudget = TimingBudget()
+    budget: TimingBudget = field(default_factory=TimingBudget)
     metastability_window_ps: float = DEFAULT_METASTABILITY_WINDOW_PS
     stale_capture_probability: float = DEFAULT_STALE_CAPTURE_PROBABILITY
 
@@ -64,17 +64,42 @@ class SetupViolationFaultModel:
 
         ``None`` arrival means the bit did not toggle this cycle: its
         stale value equals its final value, so no observable violation.
+
+        Zero slack is a setup violation: the model is a clean step
+        function at ``slack <= 0`` whatever the metastability window, so
+        a zero-width window degenerates to exactly that step instead of
+        leaving the ``slack == 0`` boundary on the no-violation side.
         """
         if arrival_ps is None:
             return 0.0
         slack = self.budget.setup_slack_ps(clock_period_ps, arrival_ps)
-        if slack >= self.metastability_window_ps:
-            return 0.0
         if slack <= 0.0:
             return 1.0
-        if self.metastability_window_ps == 0.0:
+        if slack >= self.metastability_window_ps:
             return 0.0
         return 1.0 - slack / self.metastability_window_ps
+
+    def violation_probabilities(self, arrival_ps: np.ndarray,
+                                clock_period_ps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`violation_probability` over arrival arrays.
+
+        ``arrival_ps`` and ``clock_period_ps`` are broadcast together;
+        NaN arrivals (bits that do not toggle) give probability 0, and
+        the zero-window model is the same step function at
+        ``slack <= 0`` as the scalar reference.  Every entry equals
+        :meth:`violation_probability` of the matching scalars.
+        """
+        arrivals = np.asarray(arrival_ps, dtype=float)
+        periods = np.asarray(clock_period_ps, dtype=float)
+        required = (self.budget.clk2q_ps + arrivals + self.budget.setup_ps
+                    - self.budget.skew_ps + self.budget.jitter_ps)
+        slack = periods - required
+        window = self.metastability_window_ps
+        if window > 0:
+            probability = np.clip(1.0 - slack / window, 0.0, 1.0)
+        else:
+            probability = (slack <= 0.0).astype(float)
+        return np.where(np.isnan(arrivals), 0.0, probability)
 
     def capture_bit(self, correct_bit: int, stale_bit: int,
                     arrival_ps: Optional[float], clock_period_ps: float,
@@ -132,3 +157,117 @@ class SetupViolationFaultModel:
         correct_bits = np.array(bytes_to_bits(correct_ciphertext), dtype=bool)
         observed_bits = np.array(bytes_to_bits(faulted_ciphertext), dtype=bool)
         return correct_bits ^ observed_bits
+
+    # -- population-level behaviour ------------------------------------------------
+
+    def faulted_bits_population(self, correct_bits: np.ndarray,
+                                stale_bits: np.ndarray,
+                                arrival_ps: np.ndarray,
+                                clock_period_ps: np.ndarray,
+                                rng: np.random.Generator) -> np.ndarray:
+        """Captured bits of a whole faulted-encryption population, one pass.
+
+        Vectorised capture model for glitch campaigns: every
+        (grid point, stimulus, bit) of the population is resolved in a
+        handful of array passes instead of one :meth:`capture_bit` call
+        per bit.  The inputs broadcast together to a common
+        ``(..., 128)`` shape (``clock_period_ps`` broadcasts against the
+        leading axes — pass e.g. ``periods[:, None, None]`` to sweep a
+        grid axis over stimuli); NaN arrivals mark bits that do not
+        toggle and are therefore never observably faulted.
+
+        The rng layout is fixed — three full-population draws, in order:
+        a violation uniform, a stale-vs-random resolution uniform, and a
+        uint8 random capture bit per entry.
+        :meth:`faulted_bits_population_serial` consumes the stream
+        identically and is the bit-identical serial reference this
+        kernel is tested against; the scalar :meth:`capture_bit` walk
+        stays the behavioural specification (same per-bit law, but its
+        conditional draws consume the stream in a different order).
+        """
+        correct = np.asarray(correct_bits, dtype=np.uint8)
+        stale = np.asarray(stale_bits, dtype=np.uint8)
+        probability = self.violation_probabilities(
+            arrival_ps, np.asarray(clock_period_ps, dtype=float)[..., None]
+        )
+        shape = np.broadcast_shapes(correct.shape, stale.shape,
+                                    probability.shape)
+        if not shape or shape[-1] != BLOCK_BITS:
+            raise ValueError(
+                f"population shapes must broadcast to (..., {BLOCK_BITS}), "
+                f"got {shape}"
+            )
+        violation_draw = rng.random(size=shape)
+        resolution_draw = rng.random(size=shape)
+        random_bits = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        violated = violation_draw < probability
+        resolved = np.where(resolution_draw < self.stale_capture_probability,
+                            np.broadcast_to(stale, shape),
+                            random_bits)
+        return np.where(violated, resolved,
+                        np.broadcast_to(correct, shape)).astype(np.uint8)
+
+    def faulted_bits_population_serial(self, correct_bits: np.ndarray,
+                                       stale_bits: np.ndarray,
+                                       arrival_ps: np.ndarray,
+                                       clock_period_ps: np.ndarray,
+                                       rng: np.random.Generator) -> np.ndarray:
+        """Serial reference of :meth:`faulted_bits_population`.
+
+        Same rng stream layout (three whole-population draws up front),
+        then one scalar :meth:`violation_probability` /
+        :meth:`capture_bit` decision per entry in C order — bit-identical
+        to the vectorised kernel by construction, kept as the pinned
+        reference the equivalence tests compare against.
+        """
+        correct = np.asarray(correct_bits, dtype=np.uint8)
+        stale = np.asarray(stale_bits, dtype=np.uint8)
+        arrivals = np.asarray(arrival_ps, dtype=float)
+        periods = np.asarray(clock_period_ps, dtype=float)[..., None]
+        shape = np.broadcast_shapes(
+            correct.shape, stale.shape,
+            np.broadcast(arrivals, periods).shape,
+        )
+        violation_draw = rng.random(size=shape)
+        resolution_draw = rng.random(size=shape)
+        random_bits = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        correct_b = np.broadcast_to(correct, shape)
+        stale_b = np.broadcast_to(stale, shape)
+        arrivals_b = np.broadcast_to(arrivals, shape)
+        periods_b = np.broadcast_to(periods, shape)
+        captured = np.empty(shape, dtype=np.uint8)
+        for index in np.ndindex(shape):
+            arrival = arrivals_b[index]
+            probability = self.violation_probability(
+                None if np.isnan(arrival) else float(arrival),
+                float(periods_b[index]),
+            )
+            if violation_draw[index] >= probability:
+                captured[index] = correct_b[index]
+            elif resolution_draw[index] < self.stale_capture_probability:
+                captured[index] = stale_b[index]
+            else:
+                captured[index] = random_bits[index]
+        return captured
+
+    def faulted_ciphertext_population(self, correct_ciphertexts: np.ndarray,
+                                      stale_states: np.ndarray,
+                                      arrival_ps: np.ndarray,
+                                      clock_period_ps: np.ndarray,
+                                      rng: np.random.Generator) -> np.ndarray:
+        """Faulted ciphertext bytes of a whole population, one pass.
+
+        Byte-level wrapper over :meth:`faulted_bits_population`:
+        ``correct_ciphertexts`` and ``stale_states`` are ``(..., 16)``
+        uint8 blocks, expanded to paper bit order (MSB of byte 0 first)
+        with :func:`numpy.unpackbits`, captured through the vectorised
+        kernel and packed back to ``(..., 16)`` uint8 ciphertexts.
+        """
+        correct = np.asarray(correct_ciphertexts, dtype=np.uint8)
+        stale = np.asarray(stale_states, dtype=np.uint8)
+        captured = self.faulted_bits_population(
+            np.unpackbits(correct, axis=-1),
+            np.unpackbits(stale, axis=-1),
+            arrival_ps, clock_period_ps, rng,
+        )
+        return np.packbits(captured, axis=-1)

@@ -20,13 +20,16 @@ from .artifacts import (
     DEFAULT_GOLDEN_SIGNATURE,
     cell_result_key,
     delay_differences_key,
+    fault_sweep_key,
     golden_signature,
     infected_summary_key,
     pack_delay_differences,
+    pack_fault_sweep,
     pack_population_traces,
     population_traces_key,
     spec_content_fragment,
     unpack_delay_differences,
+    unpack_fault_sweep,
     unpack_population_traces,
 )
 from .keys import canonical_json, stable_key
@@ -40,13 +43,16 @@ __all__ = [
     "canonical_json",
     "cell_result_key",
     "delay_differences_key",
+    "fault_sweep_key",
     "golden_signature",
     "infected_summary_key",
     "pack_delay_differences",
+    "pack_fault_sweep",
     "pack_population_traces",
     "population_traces_key",
     "spec_content_fragment",
     "stable_key",
     "unpack_delay_differences",
+    "unpack_fault_sweep",
     "unpack_population_traces",
 ]

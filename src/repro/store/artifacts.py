@@ -94,6 +94,35 @@ def delay_differences_key(*, device: Any, golden: Any, delay_config: Any,
     })
 
 
+def fault_sweep_key(*, device: Any, golden: Any, delay_config: Any,
+                    seed: int, num_dies: int, trojans: Sequence[str],
+                    key: bytes, plaintexts: Sequence[bytes],
+                    offsets_ps: Sequence[float], widths_ps: Sequence[float],
+                    periods_ps: Sequence[float]) -> str:
+    """Key of one glitch-grid fault-injection sweep's ciphertext tensors.
+
+    The grid axes enter the key as the *spec-level* values (empty =
+    auto-calibrated on the golden die), so a warm rerun of an
+    auto-calibrated sweep hits without paying for the golden build the
+    calibration would need.
+    """
+    return stable_key({
+        "kind": "fault_sweep",
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "device": device,
+        "golden": golden,
+        "delay": delay_config,
+        "seed": int(seed),
+        "num_dies": int(num_dies),
+        "trojans": list(trojans),
+        "key": key,
+        "plaintexts": list(plaintexts),
+        "offsets_ps": [float(v) for v in offsets_ps],
+        "widths_ps": [float(v) for v in widths_ps],
+        "periods_ps": [float(v) for v in periods_ps],
+    })
+
+
 def infected_summary_key(*, device: Any, golden: Any, trojan: str) -> str:
     """Key of one trojan's infected-design area summary."""
     return stable_key({
@@ -212,3 +241,59 @@ def unpack_delay_differences(arrays: Mapping[str, np.ndarray]
         for name in groups if name != "golden"
     }
     return golden_differences, infected_differences
+
+
+# -- fault-sweep payloads -----------------------------------------------------
+
+
+def pack_fault_sweep(axes: Mapping[str, Sequence[float]],
+                     plaintexts: np.ndarray,
+                     correct: np.ndarray,
+                     golden_faulted: np.ndarray,
+                     infected_faulted: Mapping[str, np.ndarray]
+                     ) -> Dict[str, np.ndarray]:
+    """Flatten one glitch-grid sweep into npz arrays.
+
+    ``axes`` holds the *resolved* grid axes (offsets/widths/periods in
+    ps — after auto-calibration, not the possibly-empty spec values), so
+    a store hit reproduces the exact grid without re-calibrating;
+    ``plaintexts``/``correct`` are the ``(N, 16)`` stimulus and
+    fault-free ciphertexts, and the faulted tensors are ``(D, G, N,
+    16)`` per population.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        "groups": np.array(["golden"] + list(infected_faulted)),
+        "axes::offsets_ps": np.asarray(axes["offsets_ps"], dtype=float),
+        "axes::widths_ps": np.asarray(axes["widths_ps"], dtype=float),
+        "axes::periods_ps": np.asarray(axes["periods_ps"], dtype=float),
+        "plaintexts": np.asarray(plaintexts, dtype=np.uint8),
+        "correct": np.asarray(correct, dtype=np.uint8),
+        "golden::faulted": np.asarray(golden_faulted, dtype=np.uint8),
+    }
+    for name, tensor in infected_faulted.items():
+        arrays[f"trojan::{name}::faulted"] = np.asarray(tensor,
+                                                        dtype=np.uint8)
+    return arrays
+
+
+def unpack_fault_sweep(arrays: Mapping[str, np.ndarray]
+                       ) -> Tuple[Dict[str, np.ndarray], np.ndarray,
+                                  np.ndarray, np.ndarray,
+                                  Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_fault_sweep`.
+
+    Returns ``(axes, plaintexts, correct, golden_faulted,
+    infected_faulted)``.
+    """
+    groups = [str(name) for name in arrays["groups"]]
+    axes = {
+        "offsets_ps": arrays["axes::offsets_ps"].copy(),
+        "widths_ps": arrays["axes::widths_ps"].copy(),
+        "periods_ps": arrays["axes::periods_ps"].copy(),
+    }
+    infected_faulted = {
+        name: arrays[f"trojan::{name}::faulted"].copy()
+        for name in groups if name != "golden"
+    }
+    return (axes, arrays["plaintexts"].copy(), arrays["correct"].copy(),
+            arrays["golden::faulted"].copy(), infected_faulted)

@@ -16,7 +16,7 @@ from repro.analysis.local_maxima import (
     local_maxima_values,
     sum_of_local_maxima,
 )
-from repro.analysis.roc import roc_curve
+from repro.analysis.roc import roc_curve, roc_curve_serial
 from repro.analysis.stats import (
     bootstrap_mean_ci,
     empirical_rate,
@@ -179,6 +179,31 @@ def test_roc_curve_no_separation():
 def test_roc_curve_validation():
     with pytest.raises(ValueError):
         roc_curve([], [1.0])
+    with pytest.raises(ValueError):
+        roc_curve_serial([], [1.0])
+
+
+def test_roc_curve_matches_serial_reference_with_ties():
+    rng = np.random.default_rng(3)
+    # Heavy ties (scores quantised to a half-unit grid) exercise the
+    # searchsorted side='right' boundary against the serial `>` scan.
+    genuine = np.round(rng.normal(0, 2, 157) * 2) / 2
+    infected = np.round(rng.normal(1, 2, 211) * 2) / 2
+    fast = roc_curve(genuine, infected)
+    serial = roc_curve_serial(genuine, infected)
+    assert np.array_equal(fast.thresholds, serial.thresholds)
+    assert np.array_equal(fast.false_positive_rates,
+                          serial.false_positive_rates)
+    assert np.array_equal(fast.true_positive_rates,
+                          serial.true_positive_rates)
+
+
+def test_operating_point_raises_on_infeasible_budget():
+    curve = roc_curve([1.0, 2.0, 3.0], [2.5, 3.5])
+    with pytest.raises(ValueError):
+        curve.operating_point(-0.1)
+    threshold, tpr = curve.operating_point(1.0)
+    assert tpr == 1.0 and threshold < 2.5
 
 
 # -- stats --------------------------------------------------------------------
