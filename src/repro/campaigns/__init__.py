@@ -4,8 +4,8 @@ This package turns the paper's fixed 8-die study into a declarative,
 batched sweep engine: describe a grid of (trojans x die populations x
 acquisition variants x metrics) with :class:`CampaignSpec`, execute it
 with :class:`CampaignEngine` (vectorised acquisition, shared design and
-fingerprint caches, optional process pool), persist and report the
-results.
+fingerprint caches, supervised worker processes with retries, timeouts
+and poison-cell quarantine), persist and report the results.
 """
 
 from .engine import (
@@ -19,6 +19,11 @@ from .engine import (
     merge_campaign_results,
     run_campaign,
     run_population_em_study,
+)
+from .supervisor import (
+    CampaignSupervisor,
+    SupervisorPolicy,
+    run_cells_serial,
 )
 from .spec import (
     AcquisitionVariant,
@@ -42,7 +47,10 @@ __all__ = [
     "CampaignResult",
     "CampaignRow",
     "CampaignSpec",
+    "CampaignSupervisor",
     "GridCell",
+    "SupervisorPolicy",
+    "run_cells_serial",
     "apply_em_overrides",
     "build_delay_scorer",
     "build_metric",

@@ -14,9 +14,12 @@ cell:
   EM references are cached per (die count, acquisition variant), so
   cells that differ only in the detection metric re-score cached traces
   instead of re-acquiring;
-* **optional process pool** — independent grid cells can be spread over
-  a ``concurrent.futures`` process pool (``spec.workers > 1``); results
-  are identical to the serial order;
+* **supervised parallelism** — independent grid cells can be spread
+  over a fleet of supervised worker processes (``spec.workers > 1``,
+  :class:`~repro.campaigns.supervisor.CampaignSupervisor`); results are
+  identical to the serial order, and worker crashes, hung cells and
+  raising cells are retried with backoff then quarantined as explicit
+  ``failed`` rows instead of aborting the grid;
 * **delay-study cells** — grid cells carrying a ``delay_*`` metric run
   the Sec. III clock-glitch campaign across the die population through
   the compiled timing kernel: one
@@ -239,7 +242,15 @@ class CampaignRow:
 
 @dataclass
 class CampaignCellResult:
-    """Outcome of one executed grid cell."""
+    """Outcome of one executed grid cell.
+
+    ``status`` is ``"ok"`` for a computed cell and ``"failed"`` for a
+    poison cell the supervisor quarantined after exhausting its retries
+    (``error`` then carries the per-attempt failure log and ``rows`` is
+    empty).  Failed cells travel through save/merge/CSV as explicit
+    degraded rows, are skipped by reporting, and count as *pending* on
+    resume so a rerun retries exactly them.
+    """
 
     index: int
     num_dies: int
@@ -250,9 +261,31 @@ class CampaignCellResult:
     golden_score_std: float
     elapsed_s: float
     trace_archive: Optional[str] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    #: Attempts consumed to produce this outcome (1 = first try).
+    attempts: int = 1
 
     def false_negative_rates(self) -> Dict[str, float]:
         return {row.trojan: row.false_negative_rate for row in self.rows}
+
+    @classmethod
+    def failed(cls, cell: GridCell, error: str,
+               attempts: int) -> "CampaignCellResult":
+        """The explicit quarantine row of a cell that failed every retry."""
+        return cls(
+            index=cell.index,
+            num_dies=cell.num_dies,
+            variant=cell.variant.name,
+            metric=cell.metric,
+            rows=[],
+            golden_score_mean=0.0,
+            golden_score_std=0.0,
+            elapsed_s=0.0,
+            status="failed",
+            error=error,
+            attempts=attempts,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -264,6 +297,9 @@ class CampaignCellResult:
             "golden_score_std": self.golden_score_std,
             "elapsed_s": self.elapsed_s,
             "trace_archive": self.trace_archive,
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
             "rows": [row.to_dict() for row in self.rows],
         }
 
@@ -279,6 +315,11 @@ class CampaignCellResult:
             golden_score_std=payload["golden_score_std"],
             elapsed_s=payload["elapsed_s"],
             trace_archive=payload.get("trace_archive"),
+            # Pre-supervisor records carry no status: they were only
+            # ever written for successfully computed cells.
+            status=payload.get("status", "ok"),
+            error=payload.get("error"),
+            attempts=payload.get("attempts", 1),
         )
 
 
@@ -298,10 +339,31 @@ class CampaignResult:
     shard: Optional[Tuple[int, int]] = None
 
     def rows(self) -> List[CampaignRow]:
-        return [row for cell in self.cells for row in cell.rows]
+        """Summary rows of the successfully computed cells only."""
+        return [row for cell in self.cells if cell.status == "ok"
+                for row in cell.rows]
+
+    def failed_cells(self) -> List[CampaignCellResult]:
+        """The quarantined poison cells of a degraded run."""
+        return [cell for cell in self.cells if cell.status != "ok"]
 
     def report(self) -> str:
-        return format_campaign_rows([row.to_dict() for row in self.rows()])
+        table = format_campaign_rows([row.to_dict()
+                                      for row in self.rows()])
+        failed = self.failed_cells()
+        if failed:
+            notes = [""]
+            for cell in failed:
+                notes.append(
+                    f"cell {cell.index} FAILED after {cell.attempts} "
+                    f"attempt(s): {cell.error}"
+                )
+            notes.append(
+                f"{len(failed)} cell(s) quarantined; rerun with the same "
+                f"store to retry only them"
+            )
+            table += "\n".join(notes)
+        return table
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -334,7 +396,20 @@ class CampaignResult:
         directory.mkdir(parents=True, exist_ok=True)
         summary_path = save_result(directory / f"{self.spec.name}.json",
                                    self.to_dict())
-        rows = [row.to_dict() for row in self.rows()]
+        rows = [dict(row.to_dict(), status="ok") for row in self.rows()]
+        # Quarantined cells appear as explicit degraded stub rows so a
+        # CSV consumer sees the coverage hole instead of silently
+        # missing rows.
+        for cell in self.failed_cells():
+            rows.append({
+                "cell_index": cell.index,
+                "num_dies": cell.num_dies,
+                "variant": cell.variant,
+                "metric": cell.metric,
+                "trojan": "",
+                "status": cell.status,
+                "error": cell.error or "",
+            })
         # A shard of a small grid can legitimately hold zero cells; the
         # JSON summary (which campaign merge consumes) is still written,
         # only the CSV — whose column set is undefined with no rows — is
@@ -465,8 +540,11 @@ class CampaignEngine:
                 device=self.device, golden=self._golden_signature,
                 trojan=trojan_name,
             )
-            if store_key in self.store:
-                payload = self.store.get_json(store_key)
+            # load_json folds a corrupt (quarantined) object into a
+            # miss, so a torn store write costs a recompute, not a
+            # crashed campaign.
+            payload = self.store.load_json(store_key)
+            if payload is not None:
                 fraction = float(payload["area_fraction_of_aes"])
                 self._area_fraction_cache[trojan_name] = fraction
                 return fraction
@@ -563,11 +641,12 @@ class CampaignEngine:
         if cache_key in self._acquisition_cache:
             return self._acquisition_cache[cache_key]
         store_key = self._population_store_key(cell)
-        if store_key is not None and store_key in self.store:
-            self._acquisition_cache[cache_key] = unpack_population_traces(
-                self.store.get_arrays(store_key)
-            )
-            return self._acquisition_cache[cache_key]
+        if store_key is not None:
+            stored = self.store.load_arrays(store_key)
+            if stored is not None:
+                self._acquisition_cache[cache_key] = (
+                    unpack_population_traces(stored))
+                return self._acquisition_cache[cache_key]
         tensors = self._acquire_cell_tensors(cell)
         self._acquisition_cache[cache_key] = tensors.to_traces()
         if store_key is not None:
@@ -643,9 +722,10 @@ class CampaignEngine:
                 trojans=self.spec.trojans,
                 num_pk_pairs=self.spec.num_pk_pairs,
             )
-            if store_key in self.store:
+            stored = self.store.load_arrays(store_key)
+            if stored is not None:
                 golden_differences, infected_differences = (
-                    unpack_delay_differences(self.store.get_arrays(store_key))
+                    unpack_delay_differences(stored)
                 )
                 self._delay_cache[num_dies] = _DelayStudyData(
                     golden_differences=np.stack(golden_differences),
@@ -757,9 +837,11 @@ class CampaignEngine:
         if num_dies in self._fault_cache:
             return self._fault_cache[num_dies]
         store_key = self._fault_sweep_store_key(num_dies)
-        if store_key is not None and store_key in self.store:
+        stored = (self.store.load_arrays(store_key)
+                  if store_key is not None else None)
+        if stored is not None:
             axes, plaintexts, correct, golden_faulted, infected_faulted = (
-                unpack_fault_sweep(self.store.get_arrays(store_key))
+                unpack_fault_sweep(stored)
             )
             self._fault_cache[num_dies] = _FaultSweepData(
                 grid=GlitchGrid(
@@ -1061,11 +1143,19 @@ class CampaignEngine:
         )
 
     def load_cell_result(self, cell: GridCell) -> Optional[CampaignCellResult]:
-        """The cell's completion record, if a previous run stored one."""
+        """The cell's completion record, if a previous run stored one.
+
+        Failed (quarantined) records and corrupt payloads both count as
+        *no record*: the resuming run retries exactly those cells.
+        """
         store_key = self._cell_result_store_key(cell)
-        if store_key is None or store_key not in self.store:
+        if store_key is None:
             return None
-        return CampaignCellResult.from_dict(self.store.get_json(store_key))
+        payload = self.store.load_json(store_key)
+        if payload is None:
+            return None
+        result = CampaignCellResult.from_dict(payload)
+        return result if result.status == "ok" else None
 
     def record_cell_result(self, cell: GridCell,
                            result: CampaignCellResult) -> None:
@@ -1081,7 +1171,8 @@ class CampaignEngine:
         )
 
     def run(self, artifact_dir: Optional[PathLike] = None,
-            shard: Optional[Tuple[int, int]] = None) -> CampaignResult:
+            shard: Optional[Tuple[int, int]] = None,
+            fault_plan: Optional[Any] = None) -> CampaignResult:
         """Execute the grid — or one ``(index, count)`` shard of it.
 
         With a store attached, cells whose completion record is already
@@ -1089,6 +1180,16 @@ class CampaignEngine:
         interrupted (or partially sharded) run resumes with only the
         missing cells — and every freshly computed cell is recorded the
         moment it finishes, so progress survives the next interruption.
+
+        Execution goes through the fault-tolerant supervision layer
+        (:mod:`repro.campaigns.supervisor`): failed attempts are retried
+        with backoff up to ``spec.max_retries`` times, each attempt is
+        bounded by ``spec.cell_timeout_s`` (multi-worker runs), and a
+        cell that fails every retry is quarantined as an explicit
+        ``failed`` row instead of aborting the grid.  ``fault_plan`` (a
+        :class:`repro.testing.chaos.FaultPlan`) deterministically
+        injects infrastructure faults for chaos testing and requires
+        ``spec.workers > 1``.
         """
         start = time.perf_counter()
         self._artifact_dir = None if artifact_dir is None else Path(artifact_dir)
@@ -1119,14 +1220,20 @@ class CampaignEngine:
             # so a full-grid (or even in-shard) owner that resolved from
             # the manifest must not leave the archive unwritten.
             self._active_indices = frozenset(cell.index for cell in pending)
+            from .supervisor import CampaignSupervisor, run_cells_serial
+
             if self.spec.workers <= 1 or len(pending) <= 1:
-                for cell in pending:
-                    cell_result = self.run_cell(cell)
-                    self.record_cell_result(cell, cell_result)
-                    completed[cell.index] = cell_result
+                if fault_plan is not None:
+                    raise ValueError(
+                        "a chaos fault plan needs a multi-worker run "
+                        "(spec.workers > 1 with more than one pending "
+                        "cell): crash/hang/truncate faults are contained "
+                        "by worker processes"
+                    )
+                completed.update(run_cells_serial(self, pending))
             else:
-                for cell_result in self._run_parallel(pending):
-                    completed[cell_result.index] = cell_result
+                supervisor = CampaignSupervisor(self, fault_plan=fault_plan)
+                completed.update(supervisor.run(pending))
             ordered = [completed[cell.index] for cell in cells]
         finally:
             self._active_indices = None
@@ -1141,7 +1248,16 @@ class CampaignEngine:
         return result
 
     def _run_parallel(self, cells: List[GridCell]) -> List[CampaignCellResult]:
-        """Spread cells over a process pool, preserving serial ordering.
+        """Bare process-pool execution — the *unsupervised* reference.
+
+        ``run`` no longer uses this: campaign execution goes through
+        :class:`repro.campaigns.supervisor.CampaignSupervisor`, which
+        adds retries, timeouts and poison-cell quarantine on top of the
+        same chunking.  This method is kept as the zero-overhead
+        baseline the supervisor-overhead benchmark gate compares
+        against (``benchmarks/bench_supervisor_overhead.py``) — one
+        crashed worker here still aborts everything with
+        ``BrokenProcessPool``.
 
         Cells are chunked by acquisition key so a worker reuses its
         acquisition cache across the metrics of one (die count, variant)
@@ -1210,11 +1326,16 @@ def merge_campaign_results(results: Sequence[CampaignResult]
 
     All inputs must come from the same campaign physics (equal spec
     fragments up to execution-only fields — name, workers, trace
-    archiving) and together cover the whole grid.  Cells duplicated
-    across shards are tolerated (the engine is deterministic, so
-    duplicates are identical; the first occurrence wins).  The merged
-    ``elapsed_s`` is the slowest shard — the wall-clock of shards run in
-    parallel.
+    archiving, retry/timeout knobs) and together cover the whole grid.
+    Cells duplicated across shards are tolerated (the engine is
+    deterministic, so duplicates are identical; the first occurrence
+    wins) — except that a successfully computed duplicate always beats a
+    ``failed`` quarantine row, so a cell that failed in one shard and
+    succeeded in another (or on a retry run) merges clean.  Failed cells
+    *count as coverage*: a degraded grid merges into a degraded result
+    rather than an error, and rerunning the failed cells later upgrades
+    it.  The merged ``elapsed_s`` is the slowest shard — the wall-clock
+    of shards run in parallel.
     """
     if not results:
         raise ValueError("cannot merge zero campaign results")
@@ -1228,15 +1349,21 @@ def merge_campaign_results(results: Sequence[CampaignResult]
     merged_cells: Dict[int, CampaignCellResult] = {}
     for result in results:
         for cell in result.cells:
-            merged_cells.setdefault(cell.index, cell)
+            existing = merged_cells.get(cell.index)
+            if existing is None or (existing.status != "ok"
+                                    and cell.status == "ok"):
+                merged_cells[cell.index] = cell
     spec = results[0].spec
     grid = spec.grid()
     missing = [cell.index for cell in grid
                if cell.index not in merged_cells]
     if missing:
+        shown = ", ".join(str(index) for index in missing[:8])
+        suffix = (f", … and {len(missing) - 8} more"
+                  if len(missing) > 8 else "")
         raise ValueError(
-            f"merged shards do not cover the campaign grid; missing cell "
-            f"indices {missing}"
+            f"merged shards do not cover the campaign grid; "
+            f"{len(missing)} missing cell indices: {shown}{suffix}"
         )
     return CampaignResult(
         spec=spec,

@@ -176,6 +176,16 @@ class CampaignSpec:
     key: bytes = DEFAULT_KEY
     workers: int = 1
     save_traces: bool = False
+    #: Fault-tolerance knobs of the supervised execution layer
+    #: (:mod:`repro.campaigns.supervisor`).  Execution-only: they never
+    #: enter content keys, so tuning them keeps the store warm.
+    #: ``max_retries`` bounds retries *after* the first attempt of a
+    #: cell; ``cell_timeout_s`` bounds one attempt's wall-clock in
+    #: multi-worker runs (``None`` = no timeout); ``retry_backoff_s`` is
+    #: the exponential-backoff base between attempts.
+    max_retries: int = 2
+    cell_timeout_s: Optional[float] = None
+    retry_backoff_s: float = 0.5
     #: Delay-study campaign sizes (used by ``delay_*`` metric cells).
     num_pk_pairs: int = 4
     delay_repetitions: int = 3
@@ -228,6 +238,15 @@ class CampaignSpec:
             raise ValueError("key must be 16, 24 or 32 bytes")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.cell_timeout_s is not None:
+            self.cell_timeout_s = float(self.cell_timeout_s)
+            if self.cell_timeout_s <= 0:
+                raise ValueError("cell_timeout_s must be positive (or None "
+                                 "to disable the per-cell timeout)")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         if self.num_pk_pairs < 1:
             raise ValueError("num_pk_pairs must be >= 1")
         if self.delay_repetitions < 1:
@@ -334,6 +353,9 @@ class CampaignSpec:
             "key": self.key.hex(),
             "workers": self.workers,
             "save_traces": self.save_traces,
+            "max_retries": self.max_retries,
+            "cell_timeout_s": self.cell_timeout_s,
+            "retry_backoff_s": self.retry_backoff_s,
             "num_pk_pairs": self.num_pk_pairs,
             "delay_repetitions": self.delay_repetitions,
             "num_plaintexts": self.num_plaintexts,

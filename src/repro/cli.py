@@ -17,6 +17,10 @@ Sub-commands:
   runs one deterministic partition of the grid; ``campaign merge``
   fuses shard result directories back into one full-grid summary;
   ``campaign report`` pretty-prints a stored summary.
+* ``store``      — artifact-store maintenance: ``store fsck`` verifies
+  every stored payload against its recorded SHA-256 digest (and with
+  ``--repair`` quarantines what fails), ``store gc`` sweeps orphan
+  objects and stray temp files left by interrupted writes.
 * ``attack``     — fault-injection attack campaigns: ``attack sweep``
   drives a (clock period x glitch offset x pulse width) grid over the
   die population as a ``fault_coverage`` campaign cell (shardable and
@@ -157,6 +161,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         spec.num_plaintexts = args.plaintexts
     if args.save_traces:
         spec.save_traces = True
+    if args.retries is not None:
+        spec.max_retries = args.retries
+    if args.cell_timeout is not None:
+        spec.cell_timeout_s = args.cell_timeout
     if spec.save_traces and args.out is None:
         print("error: --save-traces needs --out DIR to write the archives to",
               file=sys.stderr)
@@ -172,6 +180,42 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print(f"summary written to {args.out}")
     if args.store is not None:
         print(f"artifact store: {args.store}")
+    # A degraded (quarantined-cell) run exits non-zero so scripts notice.
+    return 1 if result.failed_cells() else 0
+
+
+def cmd_store_fsck(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    root = Path(args.store)
+    if not root.exists():
+        print(f"error: store directory {root} does not exist",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(root)
+    report = store.fsck(repair=args.repair)
+    print(report.summary())
+    if args.repair and not report.clean():
+        print("repairs applied; corrupt objects moved to "
+              f"{store.quarantine_dir}")
+    return 0 if report.clean() else 1
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    root = Path(args.store)
+    if not root.exists():
+        print(f"error: store directory {root} does not exist",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(root)
+    removed = store.gc(tmp_older_than_s=args.tmp_age,
+                       purge_quarantine=args.purge_quarantine)
+    print(f"removed {removed['orphan_objects']} orphan object(s), "
+          f"{removed['stray_tmp']} stray temp file(s), "
+          f"{removed['quarantined']} quarantined object(s); "
+          f"{len(store)} artifact(s) remain")
     return 0
 
 
@@ -267,6 +311,10 @@ def cmd_attack_sweep(args: argparse.Namespace) -> int:
     spec = _attack_spec(args)
     if args.workers is not None:
         spec.workers = args.workers
+    if args.retries is not None:
+        spec.max_retries = args.retries
+    if args.cell_timeout is not None:
+        spec.cell_timeout_s = args.cell_timeout
     engine = CampaignEngine(spec, store=args.store)
     result = engine.run(artifact_dir=args.out, shard=args.shard)
     print(result.report())
@@ -278,7 +326,7 @@ def cmd_attack_sweep(args: argparse.Namespace) -> int:
         print(f"summary written to {args.out}")
     if args.store is not None:
         print(f"artifact store: {args.store}")
-    return 0
+    return 1 if result.failed_cells() else 0
 
 
 def cmd_attack_recover(args: argparse.Namespace) -> int:
@@ -407,7 +455,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(paper), N sweeps N-1 extra random plaintexts "
                             "through the batched stimulus kernel")
     p_run.add_argument("--workers", type=int, default=None,
-                       help="process-pool size for independent grid cells")
+                       help="supervised worker processes for independent "
+                            "grid cells")
+    p_run.add_argument("--retries", type=int, default=None,
+                       help="retries per failing cell before it is "
+                            "quarantined as a failed row (default 2)")
+    p_run.add_argument("--cell-timeout", type=float, default=None,
+                       dest="cell_timeout", metavar="S",
+                       help="per-cell attempt timeout in seconds "
+                            "(multi-worker runs; default: no timeout)")
     p_run.add_argument("--out", default=None,
                        help="directory for the JSON/CSV summary and artifacts")
     p_run.add_argument("--save-traces", action="store_true",
@@ -438,6 +494,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--out", default=None,
                          help="directory for the merged JSON/CSV summary")
     p_merge.set_defaults(func=cmd_campaign_merge)
+
+    p_store = subparsers.add_parser(
+        "store", help="artifact-store maintenance: integrity audit and GC"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_fsck = store_sub.add_parser(
+        "fsck", help="verify every artifact's digest and index consistency"
+    )
+    p_fsck.add_argument("store", help="artifact store directory")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt objects, drop dangling "
+                             "manifest entries and sweep stray temp files")
+    p_fsck.set_defaults(func=cmd_store_fsck)
+
+    p_gc = store_sub.add_parser(
+        "gc", help="sweep orphan objects, stray temp files and quarantine"
+    )
+    p_gc.add_argument("store", help="artifact store directory")
+    p_gc.add_argument("--tmp-age", type=float, default=3600.0,
+                      dest="tmp_age", metavar="S",
+                      help="only sweep temp files older than S seconds "
+                           "(default 3600; guards against racing a live "
+                           "writer)")
+    p_gc.add_argument("--purge-quarantine", action="store_true",
+                      help="also delete previously quarantined objects")
+    p_gc.set_defaults(func=cmd_store_gc)
 
     p_attack = subparsers.add_parser(
         "attack", help="fault-injection attacks: glitch-grid sweeps + DFA"
@@ -477,7 +560,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_attack_spec_options(p_sweep)
     p_sweep.add_argument("--workers", type=int, default=None,
-                         help="process-pool size for independent grid cells")
+                         help="supervised worker processes for independent "
+                              "grid cells")
+    p_sweep.add_argument("--retries", type=int, default=None,
+                         help="retries per failing cell before it is "
+                              "quarantined as a failed row (default 2)")
+    p_sweep.add_argument("--cell-timeout", type=float, default=None,
+                         dest="cell_timeout", metavar="S",
+                         help="per-cell attempt timeout in seconds "
+                              "(multi-worker runs; default: no timeout)")
     p_sweep.add_argument("--out", default=None,
                          help="directory for the JSON/CSV summary")
     p_sweep.add_argument("--shard", type=_parse_shard, default=None,

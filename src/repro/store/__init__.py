@@ -13,7 +13,9 @@ completion record sharded or interrupted campaigns resume from.
 from .artifact_store import (
     STORE_FORMAT_VERSION,
     ArtifactStore,
+    FsckReport,
     ManifestEntry,
+    StoreIntegrityError,
 )
 from .artifacts import (
     ARTIFACT_SCHEMA_VERSION,
@@ -38,8 +40,10 @@ __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactStore",
     "DEFAULT_GOLDEN_SIGNATURE",
+    "FsckReport",
     "ManifestEntry",
     "STORE_FORMAT_VERSION",
+    "StoreIntegrityError",
     "canonical_json",
     "cell_result_key",
     "delay_differences_key",

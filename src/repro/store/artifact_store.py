@@ -3,8 +3,9 @@
 Layout of a store directory::
 
     <root>/
-        objects/   <key>.json | <key>.npz      the payloads
-        manifest/  <key>.json                  one index entry per key
+        objects/     <key>.json | <key>.npz    the payloads
+        manifest/    <key>.json                one index entry per key
+        quarantine/  <filename>                corrupt objects, moved aside
 
 Writes are *atomic*: the payload is written to a hidden ``*.tmp`` file
 in the same directory and moved into place with :func:`os.replace`, and
@@ -14,6 +15,19 @@ so a crash mid-write (a stray temp file, or an object without its
 manifest entry) can never surface as a corrupt hit — the next producer
 simply recomputes and overwrites.
 
+Reads are *verified*: every manifest entry records the SHA-256 digest of
+the payload bytes, and :meth:`ArtifactStore.get_json` /
+:meth:`ArtifactStore.get_arrays` re-hash the object before parsing it.
+A torn or truncated object (digest mismatch, unparseable JSON, a bad
+zip) is **never returned**: the object is moved to ``quarantine/``, the
+manifest entry is dropped — so the key becomes a clean miss — and the
+read raises :class:`StoreIntegrityError` naming the key and the object
+path.  The :meth:`ArtifactStore.load_json` / :meth:`load_arrays`
+convenience readers fold both "missing" and "corrupt" into ``None`` for
+callers that recompute on a miss.  :meth:`ArtifactStore.fsck` audits the
+whole store (digests, parseability, dangling entries, orphan objects,
+stray temp files) and :meth:`ArtifactStore.gc` sweeps the garbage.
+
 Because keys are content addresses of the *producing* configuration
 (:mod:`repro.store.keys`) and every producer in this repository is
 seed-deterministic, concurrent writers of the same key write identical
@@ -22,22 +36,37 @@ bytes; the last ``os.replace`` wins and nothing is torn.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
 import tempfile
+import time
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 import numpy as np
 
 PathLike = Union[str, Path]
 
-#: On-disk layout version, stored in every manifest entry.
-STORE_FORMAT_VERSION = 1
+#: On-disk layout version, stored in every manifest entry.  Version 2
+#: added the payload ``digest``; version-1 entries (no digest) still
+#: load, they just skip digest verification.
+STORE_FORMAT_VERSION = 2
 
 _KEY_FORBIDDEN = set("/\\")
+
+
+class StoreIntegrityError(RuntimeError):
+    """A stored object failed verification (torn, truncated or corrupt).
+
+    Raised by the ``get_*`` readers *after* the corrupt object has been
+    quarantined and its manifest entry dropped — the key is a clean miss
+    by the time the caller sees this, so retrying the read-through path
+    recomputes instead of crashing again.
+    """
 
 
 def _check_key(key: str) -> str:
@@ -46,6 +75,10 @@ def _check_key(key: str) -> str:
     if set(key) & _KEY_FORBIDDEN or key.startswith("."):
         raise ValueError(f"artifact key {key!r} is not a safe filename")
     return key
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -72,17 +105,64 @@ class ManifestEntry:
     kind: str
     filename: str
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: SHA-256 of the object payload bytes; ``None`` on legacy
+    #: (format-version-1) entries, which skip digest verification.
+    digest: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {"format_version": STORE_FORMAT_VERSION, "key": self.key,
                 "kind": self.kind, "filename": self.filename,
-                "meta": dict(self.meta)}
+                "meta": dict(self.meta), "digest": self.digest}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ManifestEntry":
         return cls(key=payload["key"], kind=payload["kind"],
                    filename=payload["filename"],
-                   meta=dict(payload.get("meta", {})))
+                   meta=dict(payload.get("meta", {})),
+                   digest=payload.get("digest"))
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :meth:`ArtifactStore.fsck` audit."""
+
+    ok: List[str] = field(default_factory=list)
+    #: Keys whose object failed digest verification or parsing.
+    corrupt: List[str] = field(default_factory=list)
+    #: Keys whose manifest entry points at a missing object.
+    missing_objects: List[str] = field(default_factory=list)
+    #: Manifest files that are not parseable manifest entries.
+    unreadable_manifests: List[str] = field(default_factory=list)
+    #: Object files no manifest entry references.
+    orphan_objects: List[str] = field(default_factory=list)
+    #: Leftover ``*.tmp`` files from interrupted writes.
+    stray_tmp: List[str] = field(default_factory=list)
+    #: True when the audit also repaired what it found.
+    repaired: bool = False
+
+    def clean(self) -> bool:
+        """True when the audit found nothing wrong."""
+        return not (self.corrupt or self.missing_objects
+                    or self.unreadable_manifests or self.orphan_objects
+                    or self.stray_tmp)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.ok)} artifact(s) verified"]
+        for label, items in (
+                ("corrupt (quarantined)" if self.repaired else "corrupt",
+                 self.corrupt),
+                ("dangling manifest entries", self.missing_objects),
+                ("unreadable manifest files", self.unreadable_manifests),
+                ("orphan objects", self.orphan_objects),
+                ("stray temp files", self.stray_tmp)):
+            if items:
+                shown = ", ".join(items[:5])
+                suffix = f" … and {len(items) - 5} more" if len(items) > 5 \
+                    else ""
+                lines.append(f"{len(items)} {label}: {shown}{suffix}")
+        if self.clean():
+            lines.append("store is clean")
+        return "\n".join(lines)
 
 
 class ArtifactStore:
@@ -92,15 +172,17 @@ class ArtifactStore:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.manifest_dir = self.root / "manifest"
+        self.quarantine_dir = self.root / "quarantine"
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
 
     # -- write --------------------------------------------------------------------
 
     def _record(self, key: str, kind: str, object_path: Path,
-                meta: Optional[Mapping[str, Any]]) -> ManifestEntry:
+                meta: Optional[Mapping[str, Any]],
+                digest: Optional[str]) -> ManifestEntry:
         entry = ManifestEntry(key=key, kind=kind, filename=object_path.name,
-                              meta=dict(meta or {}))
+                              meta=dict(meta or {}), digest=digest)
         _atomic_write_bytes(
             self.manifest_dir / f"{key}.json",
             json.dumps(entry.to_dict(), indent=2, sort_keys=True).encode(),
@@ -113,12 +195,11 @@ class ArtifactStore:
         _check_key(key)
         from ..io.results import to_jsonable
 
+        data = json.dumps(to_jsonable(payload), indent=2,
+                          sort_keys=True).encode()
         object_path = self.objects_dir / f"{key}.json"
-        _atomic_write_bytes(
-            object_path,
-            json.dumps(to_jsonable(payload), indent=2, sort_keys=True).encode(),
-        )
-        return self._record(key, kind, object_path, meta)
+        _atomic_write_bytes(object_path, data)
+        return self._record(key, kind, object_path, meta, _sha256(data))
 
     def put_arrays(self, key: str, arrays: Mapping[str, np.ndarray], *,
                    kind: str = "arrays",
@@ -130,9 +211,10 @@ class ArtifactStore:
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **{str(name): np.asarray(value)
                                        for name, value in arrays.items()})
+        data = buffer.getvalue()
         object_path = self.objects_dir / f"{key}.npz"
-        _atomic_write_bytes(object_path, buffer.getvalue())
-        return self._record(key, kind, object_path, meta)
+        _atomic_write_bytes(object_path, data)
+        return self._record(key, kind, object_path, meta, _sha256(data))
 
     # -- read ---------------------------------------------------------------------
 
@@ -156,20 +238,100 @@ class ArtifactStore:
     def has(self, key: str) -> bool:
         return key in self
 
-    def _object_path(self, key: str) -> Path:
+    def _quarantine_object(self, key: str, object_path: Path) -> Path:
+        """Move a corrupt object aside and drop its manifest entry.
+
+        After this the key is a clean *miss*: the corrupt payload can
+        never be returned again and the next producer recomputes.
+        """
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination = self.quarantine_dir / object_path.name
+        try:
+            os.replace(object_path, destination)
+        except OSError:
+            pass
+        try:
+            (self.manifest_dir / f"{key}.json").unlink()
+        except OSError:
+            pass
+        return destination
+
+    def _verified_bytes(self, key: str) -> bytes:
+        """The object payload of ``key``, digest-checked.
+
+        Raises ``KeyError`` on a miss and :class:`StoreIntegrityError`
+        (after quarantining) when the payload does not match its
+        recorded digest.
+        """
         entry = self.entry(key)
         if entry is None:
             raise KeyError(f"artifact {key!r} is not in the store")
-        return self.objects_dir / entry.filename
+        object_path = self.objects_dir / entry.filename
+        data = object_path.read_bytes()
+        if entry.digest is not None and _sha256(data) != entry.digest:
+            destination = self._quarantine_object(key, object_path)
+            raise StoreIntegrityError(
+                f"artifact {key!r} object {object_path} does not match its "
+                f"recorded SHA-256 digest (torn or truncated write); the "
+                f"corrupt object was quarantined to {destination} and the "
+                f"key is now a miss"
+            )
+        return data
 
     def get_json(self, key: str) -> Any:
-        """Load the JSON payload stored under ``key``."""
-        return json.loads(self._object_path(key).read_text())
+        """Load the JSON payload stored under ``key``.
+
+        A corrupt payload is quarantined and raised as
+        :class:`StoreIntegrityError` — never returned, never a raw
+        ``JSONDecodeError``.
+        """
+        data = self._verified_bytes(key)
+        try:
+            return json.loads(data)
+        except ValueError as error:
+            object_path = self.objects_dir / f"{key}.json"
+            destination = self._quarantine_object(key, object_path)
+            raise StoreIntegrityError(
+                f"artifact {key!r} object {object_path} holds unparseable "
+                f"JSON ({error}); the corrupt object was quarantined to "
+                f"{destination} and the key is now a miss"
+            ) from error
 
     def get_arrays(self, key: str) -> Dict[str, np.ndarray]:
-        """Load the named-array payload stored under ``key``."""
-        with np.load(self._object_path(key), allow_pickle=False) as archive:
-            return {name: archive[name] for name in archive.files}
+        """Load the named-array payload stored under ``key``.
+
+        A corrupt payload is quarantined and raised as
+        :class:`StoreIntegrityError` — never returned, never a raw
+        ``BadZipFile``.
+        """
+        data = self._verified_bytes(key)
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
+            object_path = self.objects_dir / f"{key}.npz"
+            destination = self._quarantine_object(key, object_path)
+            raise StoreIntegrityError(
+                f"artifact {key!r} object {object_path} holds an unreadable "
+                f"npz archive ({error}); the corrupt object was quarantined "
+                f"to {destination} and the key is now a miss"
+            ) from error
+
+    def load_json(self, key: str) -> Optional[Any]:
+        """Read-through helper: the payload, or ``None`` on miss *or*
+        corruption (the corrupt object is quarantined either way)."""
+        try:
+            return self.get_json(key)
+        except (KeyError, StoreIntegrityError):
+            return None
+
+    def load_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Read-through helper: the arrays, or ``None`` on miss *or*
+        corruption (the corrupt object is quarantined either way)."""
+        try:
+            return self.get_arrays(key)
+        except (KeyError, StoreIntegrityError):
+            return None
 
     # -- index --------------------------------------------------------------------
 
@@ -190,7 +352,12 @@ class ArtifactStore:
         return entries
 
     def discard(self, key: str) -> bool:
-        """Remove ``key`` (manifest entry first, then the object)."""
+        """Remove ``key`` (manifest entry first, then the object).
+
+        The object is removed by key prefix over ``objects/``, not only
+        through the manifest entry: an unreadable entry (e.g. a torn
+        manifest write) must not leak the object file forever.
+        """
         _check_key(key)
         entry = self.entry(key)
         removed = False
@@ -198,11 +365,151 @@ class ArtifactStore:
         if manifest_path.exists():
             manifest_path.unlink()
             removed = True
+        object_paths = {self.objects_dir / f"{key}.json",
+                        self.objects_dir / f"{key}.npz"}
         if entry is not None:
-            object_path = self.objects_dir / entry.filename
+            object_paths.add(self.objects_dir / entry.filename)
+        for object_path in object_paths:
             if object_path.exists():
                 object_path.unlink()
+                removed = True
         return removed
+
+    # -- integrity ----------------------------------------------------------------
+
+    def _stray_tmp_files(self, older_than_s: float = 0.0) -> List[Path]:
+        """Leftover temp files of interrupted writes, oldest first."""
+        now = time.time()
+        strays = []
+        for directory in (self.objects_dir, self.manifest_dir):
+            for path in sorted(directory.glob(".*.tmp")):
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= older_than_s:
+                    strays.append(path)
+        return strays
+
+    def sweep_tmp(self, older_than_s: float = 0.0) -> List[Path]:
+        """Delete stray ``*.tmp`` files older than ``older_than_s``.
+
+        A positive age guard keeps a sweeping process from racing a
+        *live* writer whose temp file simply has not been replaced yet.
+        """
+        removed = []
+        for path in self._stray_tmp_files(older_than_s):
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                pass
+        return removed
+
+    def _verify_entry(self, key: str, entry: ManifestEntry) -> bool:
+        """True when the entry's payload passes digest + parse checks."""
+        object_path = self.objects_dir / entry.filename
+        try:
+            data = object_path.read_bytes()
+        except OSError:
+            return False
+        if entry.digest is not None and _sha256(data) != entry.digest:
+            return False
+        try:
+            if entry.filename.endswith(".json"):
+                json.loads(data)
+            else:
+                with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+                    list(archive.files)
+        except (ValueError, zipfile.BadZipFile, OSError, EOFError):
+            return False
+        return True
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Audit every artifact: digests, parseability, dangling state.
+
+        With ``repair=True``, corrupt objects are quarantined, dangling
+        and unreadable manifest entries are dropped, and stray temp
+        files are swept; orphan *objects* are reported but left for
+        :meth:`gc` (an orphan may be a concurrent writer that has not
+        recorded its manifest entry yet).
+        """
+        report = FsckReport(repaired=repair)
+        referenced: set = set()
+        for manifest_path in sorted(self.manifest_dir.glob("*.json")):
+            key = manifest_path.stem
+            try:
+                entry = ManifestEntry.from_dict(
+                    json.loads(manifest_path.read_text()))
+            except (ValueError, KeyError):
+                report.unreadable_manifests.append(key)
+                # The entry's objects are claimed by this (broken) key,
+                # not orphans — they are removed with it on repair.
+                referenced.update({f"{key}.json", f"{key}.npz"})
+                if repair:
+                    manifest_path.unlink(missing_ok=True)
+                    for suffix in (".json", ".npz"):
+                        stray = self.objects_dir / f"{key}{suffix}"
+                        if stray.exists():
+                            stray.unlink()
+                continue
+            referenced.add(entry.filename)
+            object_path = self.objects_dir / entry.filename
+            if not object_path.exists():
+                report.missing_objects.append(key)
+                if repair:
+                    manifest_path.unlink(missing_ok=True)
+                continue
+            if self._verify_entry(key, entry):
+                report.ok.append(key)
+            else:
+                report.corrupt.append(key)
+                if repair:
+                    self._quarantine_object(key, object_path)
+        for object_path in sorted(self.objects_dir.iterdir()):
+            name = object_path.name
+            if name.startswith(".") and name.endswith(".tmp"):
+                continue
+            if name not in referenced:
+                report.orphan_objects.append(name)
+        report.stray_tmp = [str(path.relative_to(self.root))
+                            for path in self._stray_tmp_files()]
+        if repair:
+            self.sweep_tmp()
+        return report
+
+    def gc(self, tmp_older_than_s: float = 3600.0,
+           purge_quarantine: bool = False) -> Dict[str, int]:
+        """Sweep garbage: orphan objects, stray temp files, quarantine.
+
+        Orphan objects (no manifest entry references them) are deleted —
+        by the store's hit contract they can never be read.  Temp files
+        are only swept past the age guard so a live writer is not raced.
+        Returns removal counts per category.
+        """
+        referenced = {entry.filename for entry in self.index().values()}
+        orphans = 0
+        for object_path in sorted(self.objects_dir.iterdir()):
+            name = object_path.name
+            if name.startswith(".") and name.endswith(".tmp"):
+                continue
+            if name not in referenced:
+                try:
+                    object_path.unlink()
+                    orphans += 1
+                except OSError:
+                    pass
+        swept = len(self.sweep_tmp(tmp_older_than_s))
+        quarantined = 0
+        if purge_quarantine and self.quarantine_dir.exists():
+            for path in sorted(self.quarantine_dir.iterdir()):
+                try:
+                    path.unlink()
+                    quarantined += 1
+                except OSError:
+                    pass
+        return {"orphan_objects": orphans, "stray_tmp": swept,
+                "quarantined": quarantined}
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())

@@ -1,0 +1,20 @@
+"""Deterministic fault-injection tooling for the repo's own infrastructure.
+
+The paper injects faults into hardware to characterise trojans; this
+package injects faults into the *campaign runner* to characterise its
+fault tolerance — same methodology, pointed inward.
+"""
+
+from .chaos import (
+    ChaosStore,
+    FaultInjection,
+    FaultKind,
+    FaultPlan,
+)
+
+__all__ = [
+    "ChaosStore",
+    "FaultInjection",
+    "FaultKind",
+    "FaultPlan",
+]

@@ -1,0 +1,168 @@
+"""Deterministic chaos harness for campaign fault-tolerance tests.
+
+A :class:`FaultPlan` scripts infrastructure faults at exact
+``(cell_index, attempt)`` coordinates of a supervised campaign run
+(:class:`~repro.campaigns.supervisor.CampaignSupervisor`):
+
+* ``crash``     — the worker process dies with ``os._exit`` right before
+  executing the cell, exactly like an OOM kill or a segfaulting native
+  extension;
+* ``hang``      — the worker sleeps past any sane cell timeout, standing
+  in for a deadlocked kernel call;
+* ``truncate``  — the worker completes the cell, writes its completion
+  record, *tears the object file in half after the manifest entry is
+  recorded* (the worst torn-write ordering: the store claims a hit whose
+  payload is garbage), then dies — exercising the store's read-time
+  digest verification and quarantine path;
+* ``interrupt`` — the *supervisor* initiates its SIGINT drain the moment
+  the coordinate starts executing, standing in for an operator ^C, so
+  interrupt/resume behaviour is testable without real signals.
+
+Coordinates are attempt-aware: attempt numbers start at 1, so a plan
+injecting ``(cell 3, attempt 1)`` makes the first try fail and lets the
+retry succeed.  The plan is a frozen, picklable value object — it
+travels to worker processes with the engine payload, every run of the
+same plan injects the same faults, and a chaos run's final merged rows
+are required (by the acceptance tests) to be bit-identical to a clean
+serial run of the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..store.artifact_store import ArtifactStore, ManifestEntry
+
+
+class FaultKind:
+    """The fault vocabulary of a :class:`FaultPlan` (string constants)."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    TRUNCATE = "truncate"
+    INTERRUPT = "interrupt"
+
+    ALL = (CRASH, HANG, TRUNCATE, INTERRUPT)
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One scripted fault: what happens at one (cell, attempt) coordinate."""
+
+    cell_index: int
+    attempt: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; available: "
+                + ", ".join(FaultKind.ALL)
+            )
+        if self.attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of infrastructure faults for one run."""
+
+    injections: Tuple[FaultInjection, ...] = ()
+    #: How long a ``hang`` fault sleeps — far past any test timeout by
+    #: default, so a hang is only ever resolved by the supervisor's
+    #: cell timeout, never by the sleep finishing first.
+    hang_seconds: float = 3600.0
+    #: Exit code of ``crash`` faults (distinctive, so test assertions
+    #: can tell a scripted crash from an accidental one).
+    crash_exit_code: int = 173
+    #: Exit code of the post-truncation kill.
+    truncate_exit_code: int = 174
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "injections", tuple(self.injections))
+        coordinates = [(i.cell_index, i.attempt) for i in self.injections]
+        if len(set(coordinates)) != len(coordinates):
+            raise ValueError("one fault per (cell_index, attempt) coordinate")
+
+    def lookup(self, cell_index: int, attempt: int) -> Optional[FaultInjection]:
+        """The scripted fault at a coordinate, if any."""
+        for injection in self.injections:
+            if (injection.cell_index, injection.attempt) == (cell_index,
+                                                             attempt):
+                return injection
+        return None
+
+    def worker_fault(self, cell_index: int,
+                     attempt: int) -> Optional[FaultInjection]:
+        """The worker-side fault at a coordinate (interrupts are
+        supervisor-side and excluded)."""
+        injection = self.lookup(cell_index, attempt)
+        if injection is not None and injection.kind != FaultKind.INTERRUPT:
+            return injection
+        return None
+
+    def interrupts_at(self, cell_index: int, attempt: int) -> bool:
+        """True when the supervisor should start its drain at this
+        coordinate (an ``interrupt`` fault)."""
+        injection = self.lookup(cell_index, attempt)
+        return injection is not None and injection.kind == FaultKind.INTERRUPT
+
+    def execute_worker_fault(self, injection: FaultInjection) -> None:
+        """Carry out a pre-execution worker fault (crash or hang).
+
+        Truncation is a *post*-write fault and is carried out by
+        :class:`ChaosStore` instead.
+        """
+        if injection.kind == FaultKind.CRASH:
+            # os._exit skips every atexit/finally handler — the closest
+            # a test can get to a SIGKILL'd or OOM-killed worker.
+            os._exit(self.crash_exit_code)
+        elif injection.kind == FaultKind.HANG:
+            time.sleep(self.hang_seconds)
+
+
+class ChaosStore(ArtifactStore):
+    """An :class:`ArtifactStore` that tears its own writes on cue.
+
+    When :meth:`arm`-ed on a coordinate carrying a ``truncate`` fault,
+    the *next* write completes normally — manifest entry, digest and
+    all — then the object file is truncated to half its size and the
+    process dies.  The manifest now advertises a hit whose payload
+    cannot match the recorded digest: exactly the torn-write state an
+    unsynced filesystem can leave behind after a power cut.
+    """
+
+    def __init__(self, root, plan: FaultPlan):
+        super().__init__(root)
+        self.plan = plan
+        self._armed: Optional[FaultInjection] = None
+
+    def arm(self, cell_index: int, attempt: int) -> None:
+        """Point the store at the coordinate about to execute."""
+        injection = self.plan.lookup(cell_index, attempt)
+        if injection is not None and injection.kind == FaultKind.TRUNCATE:
+            self._armed = injection
+        else:
+            self._armed = None
+
+    def _maybe_tear(self, entry: ManifestEntry) -> None:
+        if self._armed is None:
+            return
+        object_path = self.objects_dir / entry.filename
+        data = object_path.read_bytes()
+        with open(object_path, "wb") as handle:
+            handle.write(data[:max(1, len(data) // 2)])
+        os._exit(self.plan.truncate_exit_code)
+
+    def put_json(self, key, payload, **kwargs) -> ManifestEntry:
+        entry = super().put_json(key, payload, **kwargs)
+        self._maybe_tear(entry)
+        return entry
+
+    def put_arrays(self, key, arrays, **kwargs) -> ManifestEntry:
+        entry = super().put_arrays(key, arrays, **kwargs)
+        self._maybe_tear(entry)
+        return entry

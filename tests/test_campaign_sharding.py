@@ -15,6 +15,7 @@ from repro.campaigns import (
     merge_campaign_results,
 )
 from repro.cli import main
+from repro.testing import FaultInjection, FaultKind, FaultPlan
 
 
 def _grid_spec(num_trojans, num_die_counts, num_variants, metrics):
@@ -194,3 +195,22 @@ def test_cli_merge_errors_on_incomplete_shards(tmp_path, capsys):
     capsys.readouterr()
     assert main(["campaign", "merge", str(tmp_path / "shard0")]) == 2
     assert "missing cell" in capsys.readouterr().err
+
+
+def test_interrupted_run_resumes_from_the_store(tmp_path):
+    """A mid-campaign SIGINT-style drain leaves the store resumable and
+    the resumed run's rows bit-identical to an uninterrupted one."""
+    spec = CampaignSpec(name="resume", trojans=("HT1",), die_counts=(2, 3),
+                        metrics=("local_maxima_sum", "l1"), seed=7,
+                        workers=2, max_retries=1, retry_backoff_s=0.01)
+    baseline = [row.to_dict() for row in CampaignEngine(spec).run().rows()]
+
+    store_root = tmp_path / "store"
+    plan = FaultPlan(injections=(
+        FaultInjection(cell_index=2, attempt=1, kind=FaultKind.INTERRUPT),))
+    with pytest.raises(KeyboardInterrupt, match="resumable"):
+        CampaignEngine(spec, store=store_root).run(fault_plan=plan)
+
+    resumed = CampaignEngine(spec, store=store_root).run()
+    assert resumed.failed_cells() == []
+    assert [row.to_dict() for row in resumed.rows()] == baseline

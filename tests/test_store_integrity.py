@@ -1,0 +1,252 @@
+"""Store integrity: digests, quarantine, fsck/gc and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaigns import CampaignEngine, CampaignSpec
+from repro.cli import main
+from repro.store import (
+    ArtifactStore,
+    STORE_FORMAT_VERSION,
+    StoreIntegrityError,
+    stable_key,
+)
+
+
+def _corrupt_object(store: ArtifactStore, key: str,
+                    data: bytes = b"torn garbage") -> None:
+    """Overwrite a stored object's payload behind the manifest's back."""
+    entry = store.entry(key)
+    (store.objects_dir / entry.filename).write_bytes(data)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+# -- digests ------------------------------------------------------------------
+
+
+def test_manifest_entries_record_payload_digests(store):
+    json_entry = store.put_json(stable_key({"k": "j"}), {"value": 1})
+    npz_entry = store.put_arrays(stable_key({"k": "n"}),
+                                 {"x": np.arange(4.0)})
+    for entry in (json_entry, npz_entry):
+        assert entry.digest is not None
+        assert len(entry.digest) == 64
+        assert entry.to_dict()["format_version"] == STORE_FORMAT_VERSION
+    assert json_entry.digest != npz_entry.digest
+
+
+def test_corrupt_json_object_is_quarantined_never_returned(store):
+    key = stable_key({"payload": "json"})
+    store.put_json(key, {"value": 42})
+    _corrupt_object(store, key)
+    with pytest.raises(StoreIntegrityError) as excinfo:
+        store.get_json(key)
+    message = str(excinfo.value)
+    assert key in message and f"{key}.json" in message
+    # The corrupt object was moved aside and the key is a clean miss.
+    assert key not in store
+    assert (store.quarantine_dir / f"{key}.json").exists()
+    assert not (store.objects_dir / f"{key}.json").exists()
+    # Recomputing (re-putting) makes the key whole again.
+    store.put_json(key, {"value": 42})
+    assert store.get_json(key) == {"value": 42}
+
+
+def test_truncated_npz_object_is_quarantined_never_returned(store):
+    key = stable_key({"payload": "npz"})
+    store.put_arrays(key, {"x": np.arange(100.0)})
+    full = (store.objects_dir / f"{key}.npz").read_bytes()
+    _corrupt_object(store, key, full[:len(full) // 2])
+    with pytest.raises(StoreIntegrityError) as excinfo:
+        store.get_arrays(key)
+    assert key in str(excinfo.value)
+    assert key not in store
+    assert (store.quarantine_dir / f"{key}.npz").exists()
+
+
+def test_unparseable_payload_with_legacy_entry_raises_integrity_error(store):
+    """Format-v1 entries (no digest) still never leak raw parse errors."""
+    key = stable_key({"payload": "legacy"})
+    store.put_json(key, {"value": 1})
+    manifest_path = store.manifest_dir / f"{key}.json"
+    payload = json.loads(manifest_path.read_text())
+    del payload["digest"]
+    manifest_path.write_text(json.dumps(payload))
+    _corrupt_object(store, key, b"{not json")
+    with pytest.raises(StoreIntegrityError):
+        store.get_json(key)
+    assert key not in store
+
+
+def test_load_helpers_fold_miss_and_corruption_into_none(store):
+    key = stable_key({"payload": "load"})
+    assert store.load_json(key) is None
+    assert store.load_arrays(key) is None
+    store.put_json(key, {"value": 2})
+    assert store.load_json(key) == {"value": 2}
+    _corrupt_object(store, key)
+    assert store.load_json(key) is None
+    assert (store.quarantine_dir / f"{key}.json").exists()
+
+
+# -- fsck / gc ----------------------------------------------------------------
+
+
+def test_fsck_clean_store(store):
+    store.put_json(stable_key({"a": 1}), {"v": 1})
+    store.put_arrays(stable_key({"a": 2}), {"x": np.zeros(3)})
+    report = store.fsck()
+    assert report.clean()
+    assert len(report.ok) == 2
+    assert "store is clean" in report.summary()
+
+
+def test_fsck_finds_and_repairs_every_failure_mode(store):
+    ok_key = stable_key({"keep": 1})
+    store.put_json(ok_key, {"v": 1})
+    corrupt_key = stable_key({"corrupt": 1})
+    store.put_json(corrupt_key, {"v": 2})
+    _corrupt_object(store, corrupt_key)
+    dangling_key = stable_key({"dangling": 1})
+    store.put_json(dangling_key, {"v": 3})
+    (store.objects_dir / f"{dangling_key}.json").unlink()
+    unreadable_key = stable_key({"unreadable": 1})
+    store.put_json(unreadable_key, {"v": 4})
+    (store.manifest_dir / f"{unreadable_key}.json").write_text("{torn")
+    (store.objects_dir / "orphan.json").write_text("{}")
+    (store.objects_dir / ".stray.json.abc.tmp").write_text("partial")
+
+    report = store.fsck()
+    assert not report.clean()
+    assert report.ok == [ok_key]
+    assert report.corrupt == [corrupt_key]
+    assert report.missing_objects == [dangling_key]
+    assert report.unreadable_manifests == [unreadable_key]
+    assert report.orphan_objects == ["orphan.json"]
+    assert len(report.stray_tmp) == 1
+    assert "corrupt" in report.summary()
+
+    repaired = store.fsck(repair=True)
+    assert repaired.corrupt == [corrupt_key]
+    assert (store.quarantine_dir / f"{corrupt_key}.json").exists()
+    after = store.fsck()
+    # Orphans are left for gc (a live writer may not have recorded its
+    # manifest entry yet); everything else is repaired.
+    assert after.corrupt == [] and after.missing_objects == []
+    assert after.unreadable_manifests == [] and after.stray_tmp == []
+    assert after.orphan_objects == ["orphan.json"]
+    assert store.get_json(ok_key) == {"v": 1}
+
+
+def test_sweep_tmp_age_guard(store):
+    stray = store.objects_dir / ".payload.json.xyz.tmp"
+    stray.write_text("partial")
+    assert store.sweep_tmp(older_than_s=3600.0) == []
+    assert stray.exists()
+    assert store.sweep_tmp(older_than_s=0.0) == [stray]
+    assert not stray.exists()
+
+
+def test_gc_sweeps_orphans_tmp_and_quarantine(store):
+    kept = stable_key({"keep": 1})
+    store.put_json(kept, {"v": 1})
+    (store.objects_dir / "orphan.npz").write_bytes(b"junk")
+    (store.objects_dir / ".x.json.abc.tmp").write_text("partial")
+    corrupt = stable_key({"corrupt": 1})
+    store.put_json(corrupt, {"v": 2})
+    _corrupt_object(store, corrupt)
+    assert store.load_json(corrupt) is None  # quarantines
+
+    removed = store.gc(tmp_older_than_s=0.0, purge_quarantine=True)
+    assert removed == {"orphan_objects": 1, "stray_tmp": 1, "quarantined": 1}
+    assert store.get_json(kept) == {"v": 1}
+    assert not (store.objects_dir / "orphan.npz").exists()
+    assert not any(store.quarantine_dir.iterdir())
+
+
+# -- discard ------------------------------------------------------------------
+
+
+def test_discard_removes_object_despite_unreadable_manifest(store):
+    """Regression: a torn manifest entry must not leak the object forever."""
+    key = stable_key({"discard": "me"})
+    store.put_arrays(key, {"x": np.arange(3.0)})
+    (store.manifest_dir / f"{key}.json").write_text("{torn")
+    assert store.entry(key) is None
+    assert store.discard(key)
+    assert not (store.objects_dir / f"{key}.npz").exists()
+    assert not (store.manifest_dir / f"{key}.json").exists()
+    assert store.fsck().clean()
+
+
+def test_discard_removes_entry_and_both_candidate_objects(store):
+    key = stable_key({"discard": "both"})
+    store.put_json(key, {"v": 1})
+    assert store.discard(key)
+    assert key not in store
+    assert not store.discard(key)
+
+
+# -- engine read-through ------------------------------------------------------
+
+
+def test_engine_recomputes_through_corrupted_artifacts(tmp_path):
+    """A torn store artifact costs a recompute, never a crashed campaign."""
+    spec = CampaignSpec(name="integrity", trojans=("HT1",), die_counts=(2,),
+                        metrics=("local_maxima_sum",), seed=11)
+    store_root = tmp_path / "store"
+    first = CampaignEngine(spec, store=store_root).run()
+    store = ArtifactStore(store_root)
+    keys = list(store.keys())
+    assert keys
+    for key in keys:
+        _corrupt_object(store, key)
+    again = CampaignEngine(spec, store=store_root).run()
+    assert [row.to_dict() for row in again.rows()] == \
+        [row.to_dict() for row in first.rows()]
+    # Every corrupted object was quarantined on read and recomputed.
+    assert store.fsck().clean()
+    assert len(list(store.quarantine_dir.iterdir())) == len(keys)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_store_fsck_and_gc(tmp_path, capsys):
+    store = ArtifactStore(tmp_path / "store")
+    good = stable_key({"cli": "good"})
+    store.put_json(good, {"v": 1})
+    bad = stable_key({"cli": "bad"})
+    store.put_json(bad, {"v": 2})
+    _corrupt_object(store, bad)
+    (store.objects_dir / "orphan.json").write_text("{}")
+
+    assert main(["store", "fsck", str(store.root)]) == 1
+    out = capsys.readouterr().out
+    assert "1 corrupt" in out and bad in out
+
+    assert main(["store", "fsck", str(store.root), "--repair"]) == 1
+    capsys.readouterr()
+    assert (store.quarantine_dir / f"{bad}.json").exists()
+
+    assert main(["store", "gc", str(store.root), "--tmp-age", "0",
+                 "--purge-quarantine"]) == 0
+    out = capsys.readouterr().out
+    assert "1 orphan object(s)" in out and "1 quarantined" in out
+
+    assert main(["store", "fsck", str(store.root)]) == 0
+    assert "store is clean" in capsys.readouterr().out
+
+
+def test_cli_store_fsck_missing_directory(tmp_path, capsys):
+    assert main(["store", "fsck", str(tmp_path / "nope")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert main(["store", "gc", str(tmp_path / "nope")]) == 2

@@ -1,0 +1,270 @@
+"""Fault-tolerant campaign supervision: retries, quarantine, chaos runs.
+
+The acceptance test points the paper's own methodology at the runner:
+a seeded :class:`~repro.testing.chaos.FaultPlan` injects worker
+crashes, a hang and a mid-write truncation into a multi-worker
+store-backed campaign, and the merged result must come out bit-identical
+to a clean serial run — with exactly the one scripted torn object in
+quarantine and nothing quarantined spuriously.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignCellResult,
+    CampaignEngine,
+    CampaignResult,
+    CampaignSpec,
+    SupervisorPolicy,
+    merge_campaign_results,
+)
+from repro.store import ArtifactStore, spec_content_fragment
+from repro.testing import FaultInjection, FaultKind, FaultPlan
+
+#: One small two-chunk grid shared by every test in this module; retry
+#: backoff is near-zero so retries don't dominate the test wall-clock.
+SPEC_KWARGS = dict(
+    name="supervised", trojans=("HT1",), die_counts=(2, 3),
+    metrics=("local_maxima_sum", "l1"), seed=7,
+    max_retries=2, retry_backoff_s=0.01,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    result = CampaignEngine(CampaignSpec(**SPEC_KWARGS)).run()
+    return [row.to_dict() for row in result.rows()]
+
+
+def _flaky_run_cell(engine, fail_attempts):
+    """Wrap ``engine.run_cell`` to raise on scripted (cell, attempt)s."""
+    seen: dict = {}
+    original = engine.run_cell
+
+    def run_cell(cell):
+        attempt = seen.get(cell.index, 0) + 1
+        seen[cell.index] = attempt
+        if (cell.index, attempt) in fail_attempts:
+            raise RuntimeError(f"scripted failure {cell.index}/{attempt}")
+        return original(cell)
+
+    engine.run_cell = run_cell
+    return seen
+
+
+# -- spec knobs ---------------------------------------------------------------
+
+
+def test_spec_validates_fault_tolerance_knobs():
+    with pytest.raises(ValueError, match="max_retries"):
+        CampaignSpec(trojans=("HT1",), die_counts=(2,), max_retries=-1)
+    with pytest.raises(ValueError, match="cell_timeout_s"):
+        CampaignSpec(trojans=("HT1",), die_counts=(2,), cell_timeout_s=0.0)
+    with pytest.raises(ValueError, match="retry_backoff_s"):
+        CampaignSpec(trojans=("HT1",), die_counts=(2,),
+                     retry_backoff_s=-0.5)
+    spec = CampaignSpec(trojans=("HT1",), die_counts=(2,), max_retries=5,
+                        cell_timeout_s=30.0, retry_backoff_s=0.0)
+    round_tripped = CampaignSpec.from_dict(
+        json.loads(json.dumps(spec.to_dict())))
+    assert round_tripped.max_retries == 5
+    assert round_tripped.cell_timeout_s == 30.0
+    assert round_tripped.retry_backoff_s == 0.0
+
+
+def test_retry_knobs_are_execution_only():
+    """Tuning retries/timeouts must keep every stored artifact warm."""
+    patient = CampaignSpec(**SPEC_KWARGS)
+    impatient = CampaignSpec(**{**SPEC_KWARGS, "max_retries": 0,
+                                "cell_timeout_s": 1.0,
+                                "retry_backoff_s": 9.0})
+    assert spec_content_fragment(patient.to_dict()) == \
+        spec_content_fragment(impatient.to_dict())
+
+
+def test_policy_backoff_is_deterministic_and_exponential():
+    policy = SupervisorPolicy(retry_backoff_s=0.5, seed=3)
+    first = policy.backoff_s(cell_index=1, attempt=1)
+    assert first == policy.backoff_s(cell_index=1, attempt=1)
+    assert 0.25 <= first <= 0.75
+    assert 1.0 <= policy.backoff_s(cell_index=1, attempt=3) <= 3.0
+    assert SupervisorPolicy(retry_backoff_s=0.0).backoff_s(1, 1) == 0.0
+
+
+# -- fault-plan validation ----------------------------------------------------
+
+
+def test_fault_plan_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultInjection(cell_index=0, attempt=1, kind="meteor")
+    with pytest.raises(ValueError, match="attempt numbers"):
+        FaultInjection(cell_index=0, attempt=0, kind=FaultKind.CRASH)
+    duplicate = (FaultInjection(0, 1, FaultKind.CRASH),
+                 FaultInjection(0, 1, FaultKind.HANG))
+    with pytest.raises(ValueError, match="one fault per"):
+        FaultPlan(injections=duplicate)
+    plan = FaultPlan(injections=(FaultInjection(2, 1, FaultKind.CRASH),
+                                 FaultInjection(3, 1, FaultKind.INTERRUPT)))
+    assert plan.lookup(2, 1).kind == FaultKind.CRASH
+    assert plan.lookup(2, 2) is None
+    assert plan.worker_fault(3, 1) is None  # interrupts are parent-side
+    assert plan.interrupts_at(3, 1) and not plan.interrupts_at(2, 1)
+
+
+def test_fault_plan_requires_multi_worker_run(tmp_path):
+    spec = CampaignSpec(**SPEC_KWARGS)  # workers=1
+    plan = FaultPlan(injections=(FaultInjection(0, 1, FaultKind.CRASH),))
+    with pytest.raises(ValueError, match="multi-worker"):
+        CampaignEngine(spec, store=tmp_path / "store").run(fault_plan=plan)
+
+
+# -- serial retry semantics ---------------------------------------------------
+
+
+def test_serial_run_retries_transient_failures(tmp_path, serial_rows):
+    spec = CampaignSpec(**SPEC_KWARGS)
+    engine = CampaignEngine(spec, store=tmp_path / "store")
+    attempts = _flaky_run_cell(engine, {(0, 1), (2, 1), (2, 2)})
+    result = engine.run()
+    assert [row.to_dict() for row in result.rows()] == serial_rows
+    assert result.failed_cells() == []
+    assert attempts[0] == 2 and attempts[2] == 3
+    by_index = {cell.index: cell for cell in result.cells}
+    assert by_index[0].attempts == 2
+    assert by_index[2].attempts == 3
+    assert by_index[1].attempts == 1
+
+
+def test_serial_poison_cell_yields_failed_row_and_recovers_on_resume(
+        tmp_path, serial_rows):
+    spec = CampaignSpec(**SPEC_KWARGS)
+    store_root = tmp_path / "store"
+    engine = CampaignEngine(spec, store=store_root)
+    _flaky_run_cell(engine, {(1, attempt) for attempt in range(1, 10)})
+    degraded = engine.run(artifact_dir=tmp_path / "out")
+
+    failed = degraded.failed_cells()
+    assert [cell.index for cell in failed] == [1]
+    assert failed[0].status == "failed"
+    assert failed[0].attempts == spec.max_retries + 1
+    assert "scripted failure 1/3" in failed[0].error
+    # Reporting skips the quarantined cell but names it.
+    assert len(degraded.rows()) == len(serial_rows) - 1
+    assert "cell 1 FAILED after 3 attempt(s)" in degraded.report()
+    # The CSV carries an explicit degraded stub row.
+    csv_text = (tmp_path / "out" / f"{spec.name}.csv").read_text()
+    assert "failed" in csv_text and "status" in csv_text
+    # The JSON summary round-trips the failed cell.
+    loaded = CampaignResult.from_dict(
+        json.loads((tmp_path / "out" / f"{spec.name}.json").read_text()))
+    assert [cell.index for cell in loaded.failed_cells()] == [1]
+
+    # Resume: the failed record counts as pending; a healthy engine
+    # retries exactly that cell and the result comes out whole.
+    healthy = CampaignEngine(spec, store=store_root)
+    computed = _flaky_run_cell(healthy, set())
+    recovered = healthy.run()
+    assert recovered.failed_cells() == []
+    assert [row.to_dict() for row in recovered.rows()] == serial_rows
+    assert set(computed) == {1}
+
+
+# -- merge semantics ----------------------------------------------------------
+
+
+def test_merge_prefers_ok_over_failed_duplicates(serial_rows):
+    spec = CampaignSpec(**SPEC_KWARGS)
+    grid = spec.grid()
+    ok = CampaignEngine(spec).run()
+    failed_cells = [CampaignCellResult.failed(cell, error="boom", attempts=3)
+                    for cell in grid]
+    degraded = CampaignResult(spec=spec, cells=failed_cells)
+    for ordering in ([degraded, ok], [ok, degraded]):
+        merged = merge_campaign_results(ordering)
+        assert merged.failed_cells() == []
+        assert [row.to_dict() for row in merged.rows()] == serial_rows
+    # A degraded-only merge stays degraded instead of erroring: failed
+    # cells count as coverage.
+    still_degraded = merge_campaign_results([degraded])
+    assert len(still_degraded.failed_cells()) == len(grid)
+
+
+def test_merge_truncates_missing_cell_listing():
+    spec = CampaignSpec(name="wide", trojans=("HT1",),
+                        die_counts=(2, 3, 4, 5),
+                        metrics=("local_maxima_sum", "l1", "max_difference"),
+                        seed=7)
+    assert spec.num_cells() == 12
+    empty = CampaignResult(spec=spec, cells=[])
+    with pytest.raises(ValueError, match="missing cell") as excinfo:
+        merge_campaign_results([empty])
+    message = str(excinfo.value)
+    assert "12 missing cell indices" in message
+    assert "… and 4 more" in message
+    assert "11" not in message  # the tail is elided, not enumerated
+
+
+# -- chaos acceptance ---------------------------------------------------------
+
+
+def test_chaos_run_matches_clean_serial_run_bit_for_bit(tmp_path,
+                                                        serial_rows):
+    """Acceptance: >= 3 crashes + 1 hang + 1 mid-write truncation into a
+    two-worker store-backed campaign; the run completes, quarantines
+    exactly the scripted torn object, and the merged rows are
+    bit-identical to the clean serial run."""
+    plan = FaultPlan(injections=(
+        # Three worker crashes (one cell crashes twice, succeeding on
+        # its third and final attempt).
+        FaultInjection(cell_index=0, attempt=1, kind=FaultKind.CRASH),
+        FaultInjection(cell_index=1, attempt=1, kind=FaultKind.CRASH),
+        FaultInjection(cell_index=2, attempt=2, kind=FaultKind.CRASH),
+        # One hang, resolved only by the supervisor's cell timeout.
+        FaultInjection(cell_index=3, attempt=1, kind=FaultKind.HANG),
+        # One torn store write: cell 2's first attempt records a
+        # manifest entry then truncates the object and dies; the retry
+        # must quarantine it on read and recompute.
+        FaultInjection(cell_index=2, attempt=1, kind=FaultKind.TRUNCATE),
+    ))
+    store_root = tmp_path / "store"
+    spec = CampaignSpec(**{**SPEC_KWARGS, "workers": 2,
+                           "cell_timeout_s": 15.0})
+    engine = CampaignEngine(spec, store=store_root)
+    result = engine.run(fault_plan=plan)
+
+    assert result.failed_cells() == []
+    assert [row.to_dict() for row in result.rows()] == serial_rows
+    # Retries were really consumed (crash coordinates burnt attempts).
+    by_index = {cell.index: cell for cell in result.cells}
+    assert by_index[0].attempts == 2
+    assert by_index[2].attempts == 3
+    # Exactly the scripted torn object was quarantined — nothing
+    # spurious — and the store audit comes back clean.
+    store = ArtifactStore(store_root)
+    assert len(list(store.quarantine_dir.iterdir())) == 1
+    assert store.fsck().clean()
+
+
+def test_chaos_timeout_exhaustion_quarantines_the_hanging_cell(tmp_path,
+                                                               serial_rows):
+    """A cell that hangs on every attempt becomes a failed row, not an
+    aborted campaign — and a healthy rerun recovers it."""
+    plan = FaultPlan(injections=tuple(
+        FaultInjection(cell_index=1, attempt=attempt, kind=FaultKind.HANG)
+        for attempt in (1, 2)))
+    store_root = tmp_path / "store"
+    spec = CampaignSpec(**{**SPEC_KWARGS, "workers": 2, "max_retries": 1,
+                           "cell_timeout_s": 3.0})
+    degraded = CampaignEngine(spec, store=store_root).run(fault_plan=plan)
+    failed = degraded.failed_cells()
+    assert [cell.index for cell in failed] == [1]
+    assert "cell_timeout_s" in failed[0].error
+    assert len(degraded.rows()) == len(serial_rows) - 1
+
+    recovered = CampaignEngine(spec, store=store_root).run()
+    assert recovered.failed_cells() == []
+    assert [row.to_dict() for row in recovered.rows()] == serial_rows
