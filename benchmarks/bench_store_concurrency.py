@@ -1,0 +1,132 @@
+"""STORE — locking + lease overhead on the warm store-resume path.
+
+PR 8's concurrency layer (shared/exclusive store locks around each file
+mutation, per-key write locks, heartbeated writer leases) must be close
+to free on the path users actually feel: a warm store-backed rerun that
+resolves every cell from the manifest.  The gate: the locked store's
+warm rerun takes at most **10%** longer than the same rerun against a
+``locking=False`` store (the PR 7 behaviour), plus a small absolute
+slack so the gate is meaningful on runs whose total is a few dozen
+milliseconds.
+
+The warm rows must also stay bit-identical between the two modes —
+locking is a concurrency-safety feature, never a behaviour change.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaigns import CampaignEngine, CampaignSpec
+from repro.store import ArtifactStore
+
+NUM_DIES = 8
+TROJANS = ("HT1", "HT2", "HT3")
+SEED = 2015
+
+#: Locked warm rerun may cost at most 10% over the unlocked baseline ...
+OVERHEAD_GATE = 1.10
+#: ... plus this absolute slack: a warm rerun is tens of milliseconds,
+#: where scheduler noise alone can exceed 10%.
+ABSOLUTE_SLACK_S = 0.25
+
+#: Warm reruns per timing sample (averaging tames filesystem jitter).
+REPEATS = 3
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="store-concurrency", trojans=TROJANS, die_counts=(NUM_DIES,),
+        metrics=("local_maxima_sum", "delay_max_difference"),
+        num_pk_pairs=8, delay_repetitions=5, seed=SEED,
+    )
+
+
+class _UnlockedEngineStore(ArtifactStore):
+    """The PR 7 store: same directory layout, no locks, no leases."""
+
+    def __init__(self, root):
+        super().__init__(root, locking=False)
+
+
+def _warm_rerun_seconds(spec: CampaignSpec, store_dir: Path,
+                        locking: bool) -> tuple:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        engine = CampaignEngine(spec, store=store_dir)
+        if not locking:
+            engine.store = _UnlockedEngineStore(store_dir)
+        result = engine.run()
+    elapsed = (time.perf_counter() - start) / REPEATS
+    return elapsed, [row.to_dict() for row in result.rows()]
+
+
+def test_locking_overhead_on_warm_resume_is_within_10_percent(benchmark):
+    spec = _spec()
+    root = Path(tempfile.mkdtemp(prefix="bench_store_conc_"))
+    try:
+        store_dir = root / "store"
+        CampaignEngine(spec, store=store_dir).run()  # populate (locked)
+
+        # Interleave-free ordering: unlocked baseline first, locked
+        # second — both fully warm, same store directory.
+        unlocked_seconds, unlocked_rows = _warm_rerun_seconds(
+            spec, store_dir, locking=False)
+        locked_seconds, locked_rows = _warm_rerun_seconds(
+            spec, store_dir, locking=True)
+
+        assert locked_rows == unlocked_rows, (
+            "locking must never change campaign rows"
+        )
+
+        overhead = locked_seconds / unlocked_seconds
+        budget = unlocked_seconds * OVERHEAD_GATE + ABSOLUTE_SLACK_S
+        benchmark.extra_info["unlocked_seconds"] = round(unlocked_seconds, 4)
+        benchmark.extra_info["locked_seconds"] = round(locked_seconds, 4)
+        benchmark.extra_info["overhead_factor"] = round(overhead, 3)
+        benchmark.extra_info["gate_factor"] = OVERHEAD_GATE
+        benchmark.extra_info["absolute_slack_s"] = ABSOLUTE_SLACK_S
+        benchmark.extra_info["repeats"] = REPEATS
+        benchmark.extra_info["cells"] = spec.num_cells()
+        assert locked_seconds <= budget, (
+            f"locking+leases cost {overhead:.2f}x on the warm resume path "
+            f"(locked {locked_seconds:.3f} s vs unlocked "
+            f"{unlocked_seconds:.3f} s; budget {budget:.3f} s)"
+        )
+
+        # The recorded benchmark is the steady-state locked warm rerun —
+        # the configuration every campaign now runs with.
+        benchmark(lambda: CampaignEngine(spec, store=store_dir).run())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_maintenance_during_warm_resume_changes_nothing():
+    """gc + fsck --repair interleaved between warm reruns must neither
+    slow correctness down nor remove anything a rerun needs."""
+    spec = _spec()
+    root = Path(tempfile.mkdtemp(prefix="bench_store_conc_"))
+    try:
+        store_dir = root / "store"
+        first = CampaignEngine(spec, store=store_dir).run()
+        store = ArtifactStore(store_dir)
+        removed = store.gc(wait_s=10.0)
+        assert removed["orphan_objects"] == 0
+        assert store.fsck(repair=True, wait_s=10.0).clean()
+
+        engine = CampaignEngine(spec, store=store_dir)
+        computed = []
+        original = engine.run_cell
+        engine.run_cell = lambda cell: (computed.append(cell.index),
+                                        original(cell))[1]
+        again = engine.run()
+        assert computed == [], (
+            f"maintenance cost a recompute of cells {computed}"
+        )
+        assert [row.to_dict() for row in again.rows()] == \
+            [row.to_dict() for row in first.rows()]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -1206,6 +1206,11 @@ class CampaignEngine:
         else:
             shard = (int(shard[0]), int(shard[1]))
             cells = self.spec.shard(*shard)
+        if self.store is not None and hasattr(self.store, "acquire_lease"):
+            # The whole run counts as "live" to concurrent maintenance:
+            # the lease covers the compute time between store writes,
+            # not just the writes themselves.
+            self.store.acquire_lease(owner=f"campaign:{self.spec.name}")
         try:
             completed: Dict[int, CampaignCellResult] = {}
             pending: List[GridCell] = []
@@ -1237,6 +1242,9 @@ class CampaignEngine:
             ordered = [completed[cell.index] for cell in cells]
         finally:
             self._active_indices = None
+            if (self.store is not None
+                    and hasattr(self.store, "release_lease")):
+                self.store.release_lease()
         result = CampaignResult(
             spec=self.spec,
             cells=ordered,
@@ -1311,12 +1319,18 @@ def _run_cells_in_subprocess(payload: Tuple[Dict[str, Any], List[int],
         engine._artifact_dir = Path(artifact_dir)
     if active is not None:
         engine._active_indices = frozenset(active)
+    if engine.store is not None:
+        engine.store.acquire_lease(owner=f"chunk:{engine.spec.name}")
     grid = engine.spec.grid()
     chunk_results: List[CampaignCellResult] = []
-    for index in indices:
-        cell_result = engine.run_cell(grid[index])
-        engine.record_cell_result(grid[index], cell_result)
-        chunk_results.append(cell_result)
+    try:
+        for index in indices:
+            cell_result = engine.run_cell(grid[index])
+            engine.record_cell_result(grid[index], cell_result)
+            chunk_results.append(cell_result)
+    finally:
+        if engine.store is not None:
+            engine.store.release_lease()
     return chunk_results
 
 

@@ -47,7 +47,6 @@ scripted chaos ``os._exit`` can run.
 from __future__ import annotations
 
 import heapq
-import random
 import signal
 import threading
 import time
@@ -57,6 +56,8 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+from ..store.retry import backoff_delay_s
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import CampaignCellResult, CampaignEngine
@@ -97,12 +98,15 @@ class SupervisorPolicy:
         )
 
     def backoff_s(self, cell_index: int, attempt: int) -> float:
-        """Deterministic jittered exponential backoff after ``attempt``."""
-        if self.retry_backoff_s <= 0:
-            return 0.0
-        jitter = random.Random(
-            f"{self.seed}:{cell_index}:{attempt}").random()
-        return self.retry_backoff_s * (2.0 ** (attempt - 1)) * (0.5 + jitter)
+        """Deterministic jittered exponential backoff after ``attempt``.
+
+        Delegates to the repository's one backoff formula
+        (:func:`repro.store.retry.backoff_delay_s`) — the token encodes
+        the spec seed and the cell, so the schedule is reproducible
+        run-to-run and bit-identical to the pre-refactor values.
+        """
+        return backoff_delay_s(self.retry_backoff_s, attempt,
+                               token=f"{self.seed}:{cell_index}")
 
 
 @dataclass
@@ -156,29 +160,39 @@ def _worker_main(payload: Tuple[Any, ...], task_conn: Any,
         engine._artifact_dir = Path(artifact_dir)
     if active is not None:
         engine._active_indices = frozenset(active)
+    if engine.store is not None and hasattr(engine.store, "acquire_lease"):
+        # Register this worker's writer lease up front so concurrent
+        # maintenance treats its in-flight writes as off-limits for the
+        # whole worker lifetime, not just between put_* calls.
+        engine.store.acquire_lease(owner=f"worker:{engine.spec.name}")
     grid = engine.spec.grid()
-    while True:
-        message = task_conn.recv()
-        if message[0] != "cell":
-            break
-        _, index, attempt = message
-        if fault_plan is not None:
-            if hasattr(engine.store, "arm"):
-                engine.store.arm(index, attempt)
-            injection = fault_plan.worker_fault(index, attempt)
-            if injection is not None:
-                # Crash faults never return; hang faults sleep into the
-                # supervisor's timeout kill.
-                fault_plan.execute_worker_fault(injection)
-        try:
-            cell_result = engine.run_cell(grid[index])
-            cell_result.attempts = attempt
-            engine.record_cell_result(grid[index], cell_result)
-        except Exception as error:
-            result_conn.send(("error", index, attempt,
-                              f"{type(error).__name__}: {error}"))
-        else:
-            result_conn.send(("done", index, attempt, cell_result))
+    try:
+        while True:
+            message = task_conn.recv()
+            if message[0] != "cell":
+                break
+            _, index, attempt = message
+            if fault_plan is not None:
+                if hasattr(engine.store, "arm"):
+                    engine.store.arm(index, attempt)
+                injection = fault_plan.worker_fault(index, attempt)
+                if injection is not None:
+                    # Crash faults never return; hang faults sleep into
+                    # the supervisor's timeout kill.
+                    fault_plan.execute_worker_fault(injection)
+            try:
+                cell_result = engine.run_cell(grid[index])
+                cell_result.attempts = attempt
+                engine.record_cell_result(grid[index], cell_result)
+            except Exception as error:
+                result_conn.send(("error", index, attempt,
+                                  f"{type(error).__name__}: {error}"))
+            else:
+                result_conn.send(("done", index, attempt, cell_result))
+    finally:
+        if (engine.store is not None
+                and hasattr(engine.store, "release_lease")):
+            engine.store.release_lease()
     result_conn.send(("bye",))
 
 

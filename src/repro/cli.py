@@ -20,7 +20,11 @@ Sub-commands:
 * ``store``      — artifact-store maintenance: ``store fsck`` verifies
   every stored payload against its recorded SHA-256 digest (and with
   ``--repair`` quarantines what fails), ``store gc`` sweeps orphan
-  objects and stray temp files left by interrupted writes.
+  objects and stray temp files left by interrupted writes, ``store
+  leases`` lists the writer leases of a shared store.  Maintenance
+  takes the exclusive store lock (``--wait`` bounds the wait, exit
+  code 3 when writers keep it busy) and never touches objects covered
+  by a live writer lease unless ``--force``.
 * ``attack``     — fault-injection attack campaigns: ``attack sweep``
   drives a (clock period x glitch offset x pulse width) grid over the
   die population as a ``fault_coverage`` campaign cell (shardable and
@@ -185,7 +189,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def cmd_store_fsck(args: argparse.Namespace) -> int:
-    from .store import ArtifactStore
+    from .store import ArtifactStore, LockTimeout
 
     root = Path(args.store)
     if not root.exists():
@@ -193,7 +197,14 @@ def cmd_store_fsck(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     store = ArtifactStore(root)
-    report = store.fsck(repair=args.repair)
+    try:
+        report = store.fsck(repair=args.repair, wait_s=args.wait,
+                            force=args.force)
+    except LockTimeout as error:
+        print(f"store busy: {error}", file=sys.stderr)
+        print("(writers hold the store lock; retry with a longer --wait)",
+              file=sys.stderr)
+        return 3
     print(report.summary())
     if args.repair and not report.clean():
         print("repairs applied; corrupt objects moved to "
@@ -202,6 +213,38 @@ def cmd_store_fsck(args: argparse.Namespace) -> int:
 
 
 def cmd_store_gc(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore, LockTimeout
+
+    root = Path(args.store)
+    if not root.exists():
+        print(f"error: store directory {root} does not exist",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(root)
+    try:
+        removed = store.gc(tmp_older_than_s=args.tmp_age,
+                           purge_quarantine=args.purge_quarantine,
+                           wait_s=args.wait, force=args.force)
+    except LockTimeout as error:
+        print(f"store busy: {error}", file=sys.stderr)
+        print("(writers hold the store lock; retry with a longer --wait)",
+              file=sys.stderr)
+        return 3
+    print(f"removed {removed['orphan_objects']} orphan object(s), "
+          f"{removed['stray_tmp']} stray temp file(s), "
+          f"{removed['quarantined']} quarantined object(s); "
+          f"{len(store)} artifact(s) remain")
+    if removed["broken_leases"]:
+        print(f"broke {len(removed['broken_leases'])} stale lease(s): "
+              + ", ".join(removed["broken_leases"]))
+    if removed["live_leases"]:
+        print(f"{len(removed['live_leases'])} live writer lease(s) — "
+              f"{removed['skipped_leased']} candidate object(s) left "
+              f"untouched (use --force only if the fleet is dead)")
+    return 0
+
+
+def cmd_store_leases(args: argparse.Namespace) -> int:
     from .store import ArtifactStore
 
     root = Path(args.store)
@@ -210,12 +253,14 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     store = ArtifactStore(root)
-    removed = store.gc(tmp_older_than_s=args.tmp_age,
-                       purge_quarantine=args.purge_quarantine)
-    print(f"removed {removed['orphan_objects']} orphan object(s), "
-          f"{removed['stray_tmp']} stray temp file(s), "
-          f"{removed['quarantined']} quarantined object(s); "
-          f"{len(store)} artifact(s) remain")
+    leases = store.leases()
+    if not leases:
+        print("no writer leases registered")
+        return 0
+    for lease in leases:
+        print(lease.describe())
+    live = sum(1 for lease in leases if lease.is_live())
+    print(f"{live} live / {len(leases)} total")
     return 0
 
 
@@ -505,22 +550,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fsck.add_argument("store", help="artifact store directory")
     p_fsck.add_argument("--repair", action="store_true",
-                        help="quarantine corrupt objects, drop dangling "
-                             "manifest entries and sweep stray temp files")
+                        help="quarantine corrupt objects, rebuild/drop "
+                             "broken manifest entries, remove unleased "
+                             "orphans and sweep stray temp files (takes "
+                             "the exclusive store lock)")
+    p_fsck.add_argument("--wait", type=float, default=None, metavar="S",
+                        help="bounded wait for the exclusive store lock "
+                             "with --repair (default 30 s; exit code 3 "
+                             "when the store stays busy)")
+    p_fsck.add_argument("--force", action="store_true",
+                        help="ignore live writer leases (only when the "
+                             "fleet is known dead)")
     p_fsck.set_defaults(func=cmd_store_fsck)
 
     p_gc = store_sub.add_parser(
         "gc", help="sweep orphan objects, stray temp files and quarantine"
     )
     p_gc.add_argument("store", help="artifact store directory")
-    p_gc.add_argument("--tmp-age", type=float, default=3600.0,
+    p_gc.add_argument("--tmp-age", type=float, default=None,
                       dest="tmp_age", metavar="S",
                       help="only sweep temp files older than S seconds "
-                           "(default 3600; guards against racing a live "
-                           "writer)")
+                           "(default: immediate with lease accounting — "
+                           "liveness is explicit — and 3600 on stores "
+                           "without it)")
     p_gc.add_argument("--purge-quarantine", action="store_true",
                       help="also delete previously quarantined objects")
+    p_gc.add_argument("--wait", type=float, default=None, metavar="S",
+                      help="bounded wait for the exclusive store lock "
+                           "(default 30 s; exit code 3 when the store "
+                           "stays busy)")
+    p_gc.add_argument("--force", action="store_true",
+                      help="ignore live writer leases (only when the "
+                           "fleet is known dead)")
     p_gc.set_defaults(func=cmd_store_gc)
+
+    p_leases = store_sub.add_parser(
+        "leases", help="list writer leases registered on a store"
+    )
+    p_leases.add_argument("store", help="artifact store directory")
+    p_leases.set_defaults(func=cmd_store_leases)
 
     p_attack = subparsers.add_parser(
         "attack", help="fault-injection attacks: glitch-grid sweeps + DFA"

@@ -35,21 +35,43 @@ from .artifacts import (
     unpack_population_traces,
 )
 from .keys import canonical_json, stable_key
+from .leases import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseInfo,
+    WriterLease,
+    break_stale_leases,
+    list_leases,
+    live_foreign_leases,
+)
+from .locks import DEFAULT_LOCK_TIMEOUT_S, FileLock, LockTimeout
+from .retry import RetryPolicy, backoff_delay_s, is_transient_os_error
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactStore",
     "DEFAULT_GOLDEN_SIGNATURE",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_LOCK_TIMEOUT_S",
+    "FileLock",
     "FsckReport",
+    "LeaseInfo",
+    "LockTimeout",
     "ManifestEntry",
+    "RetryPolicy",
     "STORE_FORMAT_VERSION",
     "StoreIntegrityError",
+    "WriterLease",
+    "backoff_delay_s",
+    "break_stale_leases",
     "canonical_json",
     "cell_result_key",
     "delay_differences_key",
     "fault_sweep_key",
     "golden_signature",
     "infected_summary_key",
+    "is_transient_os_error",
+    "list_leases",
+    "live_foreign_leases",
     "pack_delay_differences",
     "pack_fault_sweep",
     "pack_population_traces",

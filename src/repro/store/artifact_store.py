@@ -32,6 +32,22 @@ Because keys are content addresses of the *producing* configuration
 (:mod:`repro.store.keys`) and every producer in this repository is
 seed-deterministic, concurrent writers of the same key write identical
 bytes; the last ``os.replace`` wins and nothing is torn.
+
+**Concurrency protocol** (``locking=True``, the default): any number of
+writer processes and one maintenance process can share a store
+directory.  Writers register a heartbeated :mod:`lease
+<repro.store.leases>` and take the *shared* side of the store lock
+(:mod:`repro.store.locks`) around each file mutation, plus a per-key
+write lock across the object-then-manifest pair; reads stay lock-free
+on the hit path (the digest check guarantees integrity, not a lock).
+:meth:`ArtifactStore.gc` and :meth:`ArtifactStore.fsck(repair=True)
+<ArtifactStore.fsck>` take the *exclusive* side with a bounded wait,
+break stale leases (dead pid or expired heartbeat), treat orphan
+objects and temp files covered by a live foreign lease as off-limits
+(a live writer mid-``put`` looks exactly like an orphan), and
+re-verify each candidate against the manifest immediately before any
+destructive action — so maintenance is safe to loop against a live
+campaign fleet.
 """
 
 from __future__ import annotations
@@ -43,11 +59,23 @@ import os
 import tempfile
 import time
 import zipfile
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 import numpy as np
+
+from .leases import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseInfo,
+    WriterLease,
+    break_stale_leases,
+    list_leases,
+    live_foreign_leases,
+)
+from .locks import DEFAULT_LOCK_TIMEOUT_S, FileLock, LockTimeout
+from .retry import RetryPolicy
 
 PathLike = Union[str, Path]
 
@@ -133,18 +161,31 @@ class FsckReport:
     missing_objects: List[str] = field(default_factory=list)
     #: Manifest files that are not parseable manifest entries.
     unreadable_manifests: List[str] = field(default_factory=list)
+    #: Keys whose corrupt manifest was rebuilt from the intact object
+    #: (``repair=True`` only) — the work was kept, not discarded.
+    rebuilt_manifests: List[str] = field(default_factory=list)
     #: Object files no manifest entry references.
     orphan_objects: List[str] = field(default_factory=list)
+    #: Orphan objects covered by a live writer lease — a concurrent
+    #: ``put`` between its object and manifest writes, left untouched.
+    leased_orphans: List[str] = field(default_factory=list)
     #: Leftover ``*.tmp`` files from interrupted writes.
     stray_tmp: List[str] = field(default_factory=list)
+    #: Stale writer leases (dead pid / expired heartbeat) broken by a
+    #: ``repair=True`` pass.
+    broken_leases: List[str] = field(default_factory=list)
     #: True when the audit also repaired what it found.
     repaired: bool = False
 
     def clean(self) -> bool:
-        """True when the audit found nothing wrong."""
+        """True when the audit found nothing wrong.
+
+        Leased orphans do not count: an orphan covered by a live lease
+        is a concurrent writer mid-``put``, i.e. normal operation.
+        """
         return not (self.corrupt or self.missing_objects
-                    or self.unreadable_manifests or self.orphan_objects
-                    or self.stray_tmp)
+                    or self.unreadable_manifests or self.rebuilt_manifests
+                    or self.orphan_objects or self.stray_tmp)
 
     def summary(self) -> str:
         lines = [f"{len(self.ok)} artifact(s) verified"]
@@ -153,8 +194,14 @@ class FsckReport:
                  self.corrupt),
                 ("dangling manifest entries", self.missing_objects),
                 ("unreadable manifest files", self.unreadable_manifests),
-                ("orphan objects", self.orphan_objects),
-                ("stray temp files", self.stray_tmp)):
+                ("manifest(s) rebuilt from intact objects",
+                 self.rebuilt_manifests),
+                ("orphan objects (removed)" if self.repaired
+                 else "orphan objects", self.orphan_objects),
+                ("orphan(s) covered by a live writer lease (kept)",
+                 self.leased_orphans),
+                ("stray temp files", self.stray_tmp),
+                ("stale lease(s) broken", self.broken_leases)):
             if items:
                 shown = ", ".join(items[:5])
                 suffix = f" … and {len(items) - 5} more" if len(items) > 5 \
@@ -166,15 +213,105 @@ class FsckReport:
 
 
 class ArtifactStore:
-    """Content-addressed npz/JSON artifact store with a manifest index."""
+    """Content-addressed npz/JSON artifact store with a manifest index.
 
-    def __init__(self, root: PathLike):
+    ``locking=False`` restores the single-process store (no locks, no
+    leases) — kept for the concurrency-overhead benchmark baseline and
+    for callers that own the directory exclusively.
+    """
+
+    def __init__(self, root: PathLike, *, locking: bool = True,
+                 lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.manifest_dir = self.root / "manifest"
         self.quarantine_dir = self.root / "quarantine"
+        self.locks_dir = self.root / "locks"
+        self.leases_dir = self.root / "leases"
+        self.locking = bool(locking)
+        self.lock_timeout_s = float(lock_timeout_s)
+        self.lease_ttl_s = float(lease_ttl_s)
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
+        self._lease: Optional[WriterLease] = None
+        #: Transient-IO retry policy around lock acquisition and
+        #: manifest/object reads (EAGAIN-class blips, not real misses).
+        self.retry = RetryPolicy(token=f"store:{os.getpid()}")
+
+    # -- locks & leases -----------------------------------------------------------
+
+    def _store_lock(self) -> FileLock:
+        return FileLock(self.locks_dir / "store.lock")
+
+    def _key_lock(self, key: str) -> FileLock:
+        return FileLock(self.locks_dir / f"key.{key}.lock")
+
+    @contextmanager
+    def _shared_store_lock(self):
+        """Shared side of the store lock around one file mutation."""
+        if not self.locking:
+            yield
+            return
+        lock = self._store_lock()
+        self.retry.call(lambda: lock.acquire(
+            shared=True, timeout_s=self.lock_timeout_s))
+        try:
+            yield
+        finally:
+            lock.release()
+
+    def _write_guard(self, key: str):
+        """Per-key writer mutual exclusion (plus lease upkeep)."""
+        if not self.locking:
+            return nullcontext()
+        self._ensure_lease()
+        lock = self._key_lock(key)
+        return lock.holding(shared=False, timeout_s=self.lock_timeout_s)
+
+    @contextmanager
+    def _maintenance_lock(self, wait_s: Optional[float]):
+        """Exclusive store lock with bounded wait for gc/fsck-repair."""
+        if not self.locking:
+            yield
+            return
+        lock = self._store_lock()
+        timeout = self.lock_timeout_s if wait_s is None else float(wait_s)
+        lock.acquire(shared=False, timeout_s=timeout)
+        try:
+            yield
+        finally:
+            lock.release()
+
+    def acquire_lease(self, owner: str = "") -> Optional[WriterLease]:
+        """Register (or refresh) this process's writer lease.
+
+        Campaign engines call this at run start so their whole run —
+        including the compute time between store writes — counts as
+        live to concurrent maintenance.  ``put_*`` calls it implicitly.
+        """
+        if not self.locking:
+            return None
+        if self._lease is None:
+            self._lease = WriterLease(self.leases_dir, owner=owner,
+                                      ttl_s=self.lease_ttl_s)
+        self._lease.acquire()
+        return self._lease
+
+    def _ensure_lease(self) -> None:
+        if self._lease is None or self._lease._released:
+            self.acquire_lease()
+        else:
+            self._lease.heartbeat()
+
+    def release_lease(self) -> None:
+        """Drop this process's writer lease (idempotent)."""
+        if self._lease is not None:
+            self._lease.release()
+
+    def leases(self) -> List[LeaseInfo]:
+        """Every parseable lease currently registered on this store."""
+        return list_leases(self.leases_dir)
 
     # -- write --------------------------------------------------------------------
 
@@ -183,11 +320,17 @@ class ArtifactStore:
                 digest: Optional[str]) -> ManifestEntry:
         entry = ManifestEntry(key=key, kind=kind, filename=object_path.name,
                               meta=dict(meta or {}), digest=digest)
-        _atomic_write_bytes(
-            self.manifest_dir / f"{key}.json",
-            json.dumps(entry.to_dict(), indent=2, sort_keys=True).encode(),
-        )
+        with self._shared_store_lock():
+            _atomic_write_bytes(
+                self.manifest_dir / f"{key}.json",
+                json.dumps(entry.to_dict(), indent=2,
+                           sort_keys=True).encode(),
+            )
         return entry
+
+    def _write_object(self, object_path: Path, data: bytes) -> None:
+        with self._shared_store_lock():
+            _atomic_write_bytes(object_path, data)
 
     def put_json(self, key: str, payload: Any, *, kind: str = "json",
                  meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
@@ -198,8 +341,9 @@ class ArtifactStore:
         data = json.dumps(to_jsonable(payload), indent=2,
                           sort_keys=True).encode()
         object_path = self.objects_dir / f"{key}.json"
-        _atomic_write_bytes(object_path, data)
-        return self._record(key, kind, object_path, meta, _sha256(data))
+        with self._write_guard(key):
+            self._write_object(object_path, data)
+            return self._record(key, kind, object_path, meta, _sha256(data))
 
     def put_arrays(self, key: str, arrays: Mapping[str, np.ndarray], *,
                    kind: str = "arrays",
@@ -213,8 +357,9 @@ class ArtifactStore:
                                        for name, value in arrays.items()})
         data = buffer.getvalue()
         object_path = self.objects_dir / f"{key}.npz"
-        _atomic_write_bytes(object_path, data)
-        return self._record(key, kind, object_path, meta, _sha256(data))
+        with self._write_guard(key):
+            self._write_object(object_path, data)
+            return self._record(key, kind, object_path, meta, _sha256(data))
 
     # -- read ---------------------------------------------------------------------
 
@@ -225,8 +370,12 @@ class ArtifactStore:
         if not manifest_path.exists():
             return None
         try:
-            entry = ManifestEntry.from_dict(json.loads(manifest_path.read_text()))
-        except (json.JSONDecodeError, KeyError):
+            # Retry transient-IO blips; a manifest removed between the
+            # existence check and the read (concurrent discard) is a
+            # plain miss.
+            text = self.retry.call(manifest_path.read_text)
+            entry = ManifestEntry.from_dict(json.loads(text))
+        except (FileNotFoundError, json.JSONDecodeError, KeyError):
             return None
         if not (self.objects_dir / entry.filename).exists():
             return None
@@ -242,10 +391,18 @@ class ArtifactStore:
         """Move a corrupt object aside and drop its manifest entry.
 
         After this the key is a clean *miss*: the corrupt payload can
-        never be returned again and the next producer recomputes.
+        never be returned again and the next producer recomputes.  The
+        destination name gets a monotonic suffix when it is already
+        taken, so a key corrupted more than once keeps every forensic
+        payload instead of silently clobbering the previous one.
         """
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
         destination = self.quarantine_dir / object_path.name
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = self.quarantine_dir / (
+                f"{object_path.name}.{suffix}")
         try:
             os.replace(object_path, destination)
         except OSError:
@@ -267,7 +424,18 @@ class ArtifactStore:
         if entry is None:
             raise KeyError(f"artifact {key!r} is not in the store")
         object_path = self.objects_dir / entry.filename
-        data = object_path.read_bytes()
+        try:
+            # Transient EAGAIN-class blips retry with backoff; a
+            # vanished object (concurrent discard/gc between the
+            # manifest read and this read) is a clean *miss*, not a
+            # raw FileNotFoundError escaping into the engine.
+            data = self.retry.call(object_path.read_bytes)
+        except FileNotFoundError:
+            raise KeyError(
+                f"artifact {key!r} object disappeared between the "
+                f"manifest read and the payload read (concurrent "
+                f"discard or gc); the key is a miss"
+            ) from None
         if entry.digest is not None and _sha256(data) != entry.digest:
             destination = self._quarantine_object(key, object_path)
             raise StoreIntegrityError(
@@ -391,12 +559,20 @@ class ArtifactStore:
                     strays.append(path)
         return strays
 
-    def sweep_tmp(self, older_than_s: float = 0.0) -> List[Path]:
+    def sweep_tmp(self, older_than_s: float = 0.0,
+                  force: bool = False) -> List[Path]:
         """Delete stray ``*.tmp`` files older than ``older_than_s``.
 
-        A positive age guard keeps a sweeping process from racing a
-        *live* writer whose temp file simply has not been replaced yet.
+        With lease accounting active, temp files are off-limits while
+        any live *foreign* lease exists (a live writer's temp file is
+        its in-flight write) unless ``force=True`` — liveness is
+        explicit, so no mtime guess is needed.  On a ``locking=False``
+        store a positive age guard is the only protection against
+        racing a live writer.
         """
+        if (self.locking and not force
+                and live_foreign_leases(self.leases_dir)):
+            return []
         removed = []
         for path in self._stray_tmp_files(older_than_s):
             try:
@@ -425,16 +601,80 @@ class ArtifactStore:
             return False
         return True
 
-    def fsck(self, repair: bool = False) -> FsckReport:
+    def _rebuild_manifest(self, key: str) -> Optional[ManifestEntry]:
+        """Rebuild a corrupt/unreadable manifest from the intact object.
+
+        The payload must parse cleanly; the digest is recomputed from
+        the bytes.  The original ``kind``/``meta`` are lost, so the
+        rebuilt entry carries a generic kind plus a ``rebuilt`` marker.
+        Returns ``None`` when no parseable object exists for the key.
+        """
+        for suffix, kind in ((".json", "json"), (".npz", "arrays")):
+            object_path = self.objects_dir / f"{key}{suffix}"
+            try:
+                data = object_path.read_bytes()
+            except OSError:
+                continue
+            try:
+                if suffix == ".json":
+                    json.loads(data)
+                else:
+                    with np.load(io.BytesIO(data),
+                                 allow_pickle=False) as archive:
+                        list(archive.files)
+            except (ValueError, zipfile.BadZipFile, OSError, EOFError):
+                continue
+            # Written directly, NOT via _record: the caller (fsck
+            # --repair) already holds the exclusive store lock, and a
+            # same-process shared acquisition on a second fd would
+            # self-conflict under flock semantics.
+            entry = ManifestEntry(key=key, kind=kind,
+                                  filename=object_path.name,
+                                  meta={"rebuilt": True},
+                                  digest=_sha256(data))
+            _atomic_write_bytes(
+                self.manifest_dir / f"{key}.json",
+                json.dumps(entry.to_dict(), indent=2, sort_keys=True).encode())
+            return entry
+        return None
+
+    def _protected_filenames(self) -> set:
+        """Object filenames no maintenance pass may treat as orphans."""
+        protected: set = set()
+        for entry in self.index().values():
+            protected.add(entry.filename)
+        return protected
+
+    def fsck(self, repair: bool = False,
+             wait_s: Optional[float] = None,
+             force: bool = False) -> FsckReport:
         """Audit every artifact: digests, parseability, dangling state.
 
-        With ``repair=True``, corrupt objects are quarantined, dangling
-        and unreadable manifest entries are dropped, and stray temp
-        files are swept; orphan *objects* are reported but left for
-        :meth:`gc` (an orphan may be a concurrent writer that has not
-        recorded its manifest entry yet).
+        ``repair=False`` is a lock-free read-only audit.  With
+        ``repair=True`` the audit runs under the **exclusive** store
+        lock (bounded ``wait_s``; raises :class:`LockTimeout` when
+        writers keep it busy), breaks stale writer leases first, and
+        then: quarantines corrupt objects, drops dangling manifest
+        entries, **rebuilds** a corrupt manifest from its intact object
+        (digest recomputed) instead of discarding the work, removes
+        orphan objects not covered by a live lease, and sweeps stray
+        temp files.  Orphans and temp files covered by a live foreign
+        lease are off-limits — they are a concurrent writer between its
+        object and manifest writes — unless ``force=True``.  A second
+        ``repair`` pass over an idle store reports clean.
         """
+        guard = self._maintenance_lock(wait_s) if repair else nullcontext()
+        with guard:
+            return self._fsck_locked(repair=repair, force=force)
+
+    def _fsck_locked(self, repair: bool, force: bool) -> FsckReport:
         report = FsckReport(repaired=repair)
+        if repair and self.locking:
+            report.broken_leases = [
+                lease.path.name
+                for lease in break_stale_leases(self.leases_dir)]
+        live = (live_foreign_leases(self.leases_dir)
+                if self.locking and not force else [])
         referenced: set = set()
         for manifest_path in sorted(self.manifest_dir.glob("*.json")):
             key = manifest_path.stem
@@ -442,11 +682,17 @@ class ArtifactStore:
                 entry = ManifestEntry.from_dict(
                     json.loads(manifest_path.read_text()))
             except (ValueError, KeyError):
-                report.unreadable_manifests.append(key)
                 # The entry's objects are claimed by this (broken) key,
-                # not orphans — they are removed with it on repair.
+                # not orphans — rebuilt or removed with it on repair.
                 referenced.update({f"{key}.json", f"{key}.npz"})
-                if repair:
+                if not repair:
+                    report.unreadable_manifests.append(key)
+                    continue
+                rebuilt = self._rebuild_manifest(key)
+                if rebuilt is not None:
+                    report.rebuilt_manifests.append(key)
+                else:
+                    report.unreadable_manifests.append(key)
                     manifest_path.unlink(missing_ok=True)
                     for suffix in (".json", ".npz"):
                         stray = self.objects_dir / f"{key}{suffix}"
@@ -470,46 +716,124 @@ class ArtifactStore:
             name = object_path.name
             if name.startswith(".") and name.endswith(".tmp"):
                 continue
-            if name not in referenced:
-                report.orphan_objects.append(name)
-        report.stray_tmp = [str(path.relative_to(self.root))
-                            for path in self._stray_tmp_files()]
-        if repair:
-            self.sweep_tmp()
-        return report
-
-    def gc(self, tmp_older_than_s: float = 3600.0,
-           purge_quarantine: bool = False) -> Dict[str, int]:
-        """Sweep garbage: orphan objects, stray temp files, quarantine.
-
-        Orphan objects (no manifest entry references them) are deleted —
-        by the store's hit contract they can never be read.  Temp files
-        are only swept past the age guard so a live writer is not raced.
-        Returns removal counts per category.
-        """
-        referenced = {entry.filename for entry in self.index().values()}
-        orphans = 0
-        for object_path in sorted(self.objects_dir.iterdir()):
-            name = object_path.name
-            if name.startswith(".") and name.endswith(".tmp"):
+            if name in referenced:
                 continue
-            if name not in referenced:
+            if live:
+                report.leased_orphans.append(name)
+                continue
+            report.orphan_objects.append(name)
+            if repair:
+                # Re-verify against the manifest immediately before the
+                # destructive action: a writer may have recorded the
+                # entry since the index snapshot (force mode only — the
+                # exclusive lock already excludes writers otherwise).
+                if (self.manifest_dir / f"{object_path.stem}.json").exists():
+                    report.orphan_objects.pop()
+                    continue
                 try:
                     object_path.unlink()
-                    orphans += 1
-                except OSError:
+                except OSError:  # pragma: no cover - lost a delete race
                     pass
-        swept = len(self.sweep_tmp(tmp_older_than_s))
-        quarantined = 0
-        if purge_quarantine and self.quarantine_dir.exists():
-            for path in sorted(self.quarantine_dir.iterdir()):
-                try:
-                    path.unlink()
-                    quarantined += 1
-                except OSError:
-                    pass
-        return {"orphan_objects": orphans, "stray_tmp": swept,
-                "quarantined": quarantined}
+        if live:
+            report.stray_tmp = []
+        else:
+            report.stray_tmp = [str(path.relative_to(self.root))
+                                for path in self._stray_tmp_files()]
+            if repair:
+                self.sweep_tmp()
+        return report
+
+    def gc(self, tmp_older_than_s: Optional[float] = None,
+           purge_quarantine: bool = False,
+           wait_s: Optional[float] = None,
+           force: bool = False) -> Dict[str, Any]:
+        """Sweep garbage: orphan objects, stray temp files, quarantine.
+
+        Runs under the **exclusive** store lock with a bounded wait
+        (raises :class:`LockTimeout` if writers keep the shared side
+        busy past ``wait_s``), breaks stale writer leases (dead pid or
+        expired heartbeat — logged in the returned summary), and then
+        deletes orphan objects and stray temp files **only when no live
+        foreign lease covers the store** — a live lease means a writer
+        may be between its object and manifest writes, and its orphan
+        is its in-flight work.  ``force=True`` overrides the lease
+        protection (for operators who know the fleet is dead).  Each
+        orphan is re-verified against the manifest immediately before
+        deletion.
+
+        ``tmp_older_than_s`` defaults to 0 with lease accounting active
+        (liveness is explicit, no mtime guess needed) and to the legacy
+        3600 s guard on a ``locking=False`` store.  Returns removal
+        counts per category plus the broken/live lease names.
+        """
+        with self._maintenance_lock(wait_s):
+            broken: List[str] = []
+            if self.locking:
+                broken = [lease.path.name
+                          for lease in break_stale_leases(self.leases_dir)]
+            live = (live_foreign_leases(self.leases_dir)
+                    if self.locking and not force else [])
+            if tmp_older_than_s is None:
+                tmp_older_than_s = 0.0 if self.locking else 3600.0
+            orphans = 0
+            skipped_leased = 0
+            if live:
+                skipped_leased = sum(
+                    1 for path in self.objects_dir.iterdir()
+                    if not (path.name.startswith(".")
+                            and path.name.endswith(".tmp"))
+                    and path.name not in self._protected_filenames())
+            else:
+                referenced = self._protected_filenames()
+                for object_path in sorted(self.objects_dir.iterdir()):
+                    name = object_path.name
+                    if name.startswith(".") and name.endswith(".tmp"):
+                        continue
+                    if name in referenced:
+                        continue
+                    # Re-verify right before deleting: the manifest may
+                    # have gained this key since the index snapshot.
+                    if (self.manifest_dir
+                            / f"{object_path.stem}.json").exists():
+                        continue
+                    try:
+                        object_path.unlink()
+                        orphans += 1
+                    except OSError:
+                        pass
+            swept = 0 if live else len(self.sweep_tmp(tmp_older_than_s))
+            quarantined = 0
+            if purge_quarantine and self.quarantine_dir.exists():
+                for path in sorted(self.quarantine_dir.iterdir()):
+                    try:
+                        path.unlink()
+                        quarantined += 1
+                    except OSError:
+                        pass
+            if not live and self.locking:
+                self._sweep_key_locks()
+            return {"orphan_objects": orphans, "stray_tmp": swept,
+                    "quarantined": quarantined,
+                    "skipped_leased": skipped_leased,
+                    "broken_leases": broken,
+                    "live_leases": [lease.path.name for lease in live]}
+
+    def _sweep_key_locks(self) -> None:
+        """Remove per-key lock files (safe: we hold the exclusive lock).
+
+        Writers acquire the store's shared side around every file
+        mutation *after* taking their per-key lock, so while the
+        exclusive lock is held no writer is inside a per-key critical
+        section; deleting the lock files cannot split a mutex.  The
+        store-level lock file itself is kept (we are holding it).
+        """
+        if not self.locks_dir.exists():
+            return
+        for path in self.locks_dir.glob("key.*.lock"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())

@@ -1,0 +1,207 @@
+"""Portable advisory file locks for shared artifact stores.
+
+:class:`FileLock` gives cross-process mutual exclusion over one lock
+file.  On POSIX it is a thin wrapper over ``fcntl.flock`` — genuinely
+shared/exclusive, released by the kernel the instant the holder dies
+(including ``kill -9``), and invisible to readers that never lock.
+Where ``fcntl`` is unavailable the lock degrades to an exclusive-only
+*lock-file* protocol (``O_CREAT | O_EXCL`` with the holder's pid inside,
+broken automatically when that pid is dead), which serialises writers
+correctly at the cost of shared acquisitions also excluding each other.
+
+The store uses two lock levels (always acquired store-before-key):
+
+* the **store lock** (``locks/store.lock``) — writers take the *shared*
+  side around each file mutation; ``gc``/``fsck --repair`` take the
+  *exclusive* side with a bounded wait, so destructive maintenance
+  never overlaps an in-flight write.  Reads stay lock-free on the hit
+  path: the digest check, not a lock, guarantees read integrity.
+* a **per-key write lock** (``locks/key.<key>.lock``) — mutual
+  exclusion between writers of one key, held across the whole
+  object-then-manifest write pair.
+
+Acquisition is a bounded non-blocking retry loop using the shared
+backoff helper (:func:`repro.store.retry.backoff_delay_s`) with the pid
+folded into the jitter token, so concurrent waiters spread out instead
+of retrying in lockstep.  :class:`LockTimeout` is raised when the
+bounded wait expires — callers surface it ("store busy") rather than
+deadlocking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .retry import backoff_delay_s
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+    HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+    HAVE_FCNTL = False
+
+PathLike = Union[str, Path]
+
+#: Default bounded wait for lock acquisition.
+DEFAULT_LOCK_TIMEOUT_S = 30.0
+
+
+class LockTimeout(TimeoutError):
+    """A bounded lock wait expired — the resource stayed busy."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+class FileLock:
+    """One advisory lock over one lock file (see module docstring).
+
+    Not re-entrant and not thread-safe: one :class:`FileLock` instance
+    per acquisition site.  ``use_fcntl`` exists so the lock-file
+    fallback is testable on POSIX hosts too.
+    """
+
+    def __init__(self, path: PathLike, *,
+                 base_backoff_s: float = 0.002,
+                 use_fcntl: Optional[bool] = None):
+        self.path = Path(path)
+        self._base_backoff_s = base_backoff_s
+        self._use_fcntl = HAVE_FCNTL if use_fcntl is None else use_fcntl
+        self._fd: Optional[int] = None
+        self._held_fallback = False
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None or self._held_fallback
+
+    # -- non-blocking attempts ----------------------------------------------------
+
+    def _try_fcntl(self, shared: bool) -> bool:
+        flags = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, flags | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def _try_fallback(self) -> bool:
+        """Exclusive-only lock-file protocol (no ``fcntl``).
+
+        The holder's pid is written into the file; a lock whose holder
+        is a dead pid on this host is broken in place, so a
+        ``kill -9``'d writer cannot wedge the store forever.
+        """
+        held_path = self.path.with_name(self.path.name + ".held")
+        try:
+            fd = os.open(held_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                         0o644)
+        except FileExistsError:
+            try:
+                pid = int(held_path.read_text().strip() or "0")
+            except (OSError, ValueError):
+                return False
+            if not _pid_alive(pid):
+                # Stale: the holder died without releasing.  Breaking is
+                # racy between breakers, but os.unlink + O_EXCL retry
+                # converges on exactly one new holder.
+                try:
+                    held_path.unlink()
+                except OSError:
+                    pass
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(str(os.getpid()))
+        self._held_fallback = True
+        return True
+
+    def try_acquire(self, shared: bool = False) -> bool:
+        """One non-blocking acquisition attempt."""
+        if self.held:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._use_fcntl:
+            return self._try_fcntl(shared)
+        return self._try_fallback()
+
+    # -- bounded blocking ---------------------------------------------------------
+
+    def acquire(self, shared: bool = False,
+                timeout_s: float = DEFAULT_LOCK_TIMEOUT_S) -> None:
+        """Acquire with a bounded jittered-backoff wait.
+
+        Raises :class:`LockTimeout` when ``timeout_s`` elapses without
+        the lock becoming free.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        attempt = 0
+        while True:
+            if self.try_acquire(shared=shared):
+                return
+            attempt += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                mode = "shared" if shared else "exclusive"
+                raise LockTimeout(
+                    f"could not acquire {mode} lock {self.path} within "
+                    f"{timeout_s:.1f} s (another process holds it)"
+                )
+            delay = backoff_delay_s(self._base_backoff_s, attempt,
+                                    token=f"{self.path}:{os.getpid()}",
+                                    cap_s=0.1)
+            time.sleep(min(delay, remaining))
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        elif self._held_fallback:
+            held_path = self.path.with_name(self.path.name + ".held")
+            try:
+                held_path.unlink()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._held_fallback = False
+
+    # -- context managers ---------------------------------------------------------
+
+    @contextmanager
+    def holding(self, shared: bool = False,
+                timeout_s: float = DEFAULT_LOCK_TIMEOUT_S) -> Iterator[None]:
+        self.acquire(shared=shared, timeout_s=timeout_s)
+        try:
+            yield
+        finally:
+            self.release()
+
+    def shared(self, timeout_s: float = DEFAULT_LOCK_TIMEOUT_S):
+        return self.holding(shared=True, timeout_s=timeout_s)
+
+    def exclusive(self, timeout_s: float = DEFAULT_LOCK_TIMEOUT_S):
+        return self.holding(shared=False, timeout_s=timeout_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "held" if self.held else "free"
+        return f"FileLock({str(self.path)!r}, {state})"

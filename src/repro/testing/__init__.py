@@ -10,6 +10,8 @@ from .chaos import (
     FaultInjection,
     FaultKind,
     FaultPlan,
+    SyncFlag,
+    WindowFaultStore,
 )
 
 __all__ = [
@@ -17,4 +19,6 @@ __all__ = [
     "FaultInjection",
     "FaultKind",
     "FaultPlan",
+    "SyncFlag",
+    "WindowFaultStore",
 ]

@@ -25,6 +25,27 @@ travels to worker processes with the engine payload, every run of the
 same plan injects the same faults, and a chaos run's final merged rows
 are required (by the acceptance tests) to be bit-identical to a clean
 serial run of the same spec.
+
+**Multi-process fault plans** extend the vocabulary to races *between*
+processes sharing one store directory:
+
+* :class:`SyncFlag` — a file-based event for deterministic cross-process
+  sequencing (no inherited ``multiprocessing`` primitives needed, so it
+  works between arbitrary spawned/forked/exec'd processes);
+* :class:`WindowFaultStore` — an :class:`ArtifactStore` that *stops
+  inside the object→manifest window* of a ``put_*``: it raises a
+  :class:`SyncFlag` the moment the object file exists without its
+  manifest entry, then either waits for a proceed flag (letting the test
+  script a concurrent ``gc``/``fsck --repair`` into the exact window) or
+  dies with ``os._exit`` (a ``kill -9`` mid-``put``, leaving the orphan
+  object plus a lease whose pid is dead).
+
+These are the building blocks of the multi-process stress suite
+(``tests/test_store_concurrency.py``): two writers racing one key, a
+``gc`` scripted into a live writer's window (the leased orphan must
+survive), kill -9 mid-``put`` (lease goes stale, ``fsck --repair``
+recovers, a resumed run computes only the missing cells), and the
+N-shard-processes-vs-maintenance-loop acceptance test.
 """
 
 from __future__ import annotations
@@ -32,7 +53,8 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from ..store.artifact_store import ArtifactStore, ManifestEntry
 
@@ -166,3 +188,101 @@ class ChaosStore(ArtifactStore):
         entry = super().put_arrays(key, arrays, **kwargs)
         self._maybe_tear(entry)
         return entry
+
+
+class SyncFlag:
+    """A file-based cross-process event.
+
+    ``multiprocessing.Event`` must be inherited at fork/spawn time; a
+    flag file only needs a path, so arbitrary processes (including ones
+    started via ``subprocess``) can sequence against each other
+    deterministically.  Setting is atomic (``O_CREAT`` of a marker
+    file); waiting polls with a small sleep.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def set(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.touch()
+
+    def is_set(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def wait(self, timeout_s: float = 30.0,
+             poll_s: float = 0.005) -> bool:
+        """Block until set (True) or until ``timeout_s`` elapses (False)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.is_set():
+                return True
+            time.sleep(poll_s)
+        return self.is_set()
+
+
+class WindowFaultStore(ArtifactStore):
+    """An :class:`ArtifactStore` that stops inside the object→manifest
+    window of its next ``put_*``.
+
+    The store's crash-consistency window — object file on disk, manifest
+    entry not yet recorded — is normally microseconds wide.  This store
+    holds it open on cue so a test can script a concurrent maintenance
+    pass into the exact interleaving that loses work on an unprotected
+    store:
+
+    * ``window_flag`` is set the moment the window opens (object
+      written, manifest pending);
+    * with a ``proceed_flag``, the write then *blocks* until the flag is
+      set — the test runs ``gc``/``fsck`` meanwhile, then releases the
+      writer, which must still complete into a verified hit;
+    * with ``kill_in_window=True``, the process instead dies on the spot
+      with ``os._exit`` — a ``kill -9`` mid-``put``, leaving the orphan
+      object and a lease whose pid is dead for the stale-lease path.
+
+    Only one window fires: the first write after ``skip_writes`` earlier
+    writes have completed normally (so a multi-cell campaign can target
+    one specific write mid-run).
+    """
+
+    def __init__(self, root, *, window_flag: Union[str, Path],
+                 proceed_flag: Optional[Union[str, Path]] = None,
+                 kill_in_window: bool = False,
+                 skip_writes: int = 0,
+                 exit_code: int = 175,
+                 wait_timeout_s: float = 30.0,
+                 **store_kwargs):
+        super().__init__(root, **store_kwargs)
+        self.window_flag = SyncFlag(window_flag)
+        self.proceed_flag = (SyncFlag(proceed_flag)
+                             if proceed_flag is not None else None)
+        self.kill_in_window = kill_in_window
+        self.exit_code = exit_code
+        self.wait_timeout_s = wait_timeout_s
+        self._writes_until_fire = int(skip_writes)
+        self._fired = False
+
+    def _record(self, key, kind, object_path, meta, digest) -> ManifestEntry:
+        # By the time _record runs the object file exists and the
+        # manifest entry does not: the window is open.
+        if not self._fired and self._writes_until_fire > 0:
+            self._writes_until_fire -= 1
+        elif not self._fired:
+            self._fired = True
+            self.window_flag.set()
+            if self.kill_in_window:
+                # Skips atexit/finally — the lease file stays behind
+                # with a dead pid, exactly like SIGKILL.
+                os._exit(self.exit_code)
+            if self.proceed_flag is not None:
+                if not self.proceed_flag.wait(self.wait_timeout_s):
+                    raise TimeoutError(
+                        f"window proceed flag {self.proceed_flag.path} was "
+                        f"never set within {self.wait_timeout_s} s")
+        return super()._record(key, kind, object_path, meta, digest)

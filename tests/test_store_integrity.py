@@ -137,13 +137,21 @@ def test_fsck_finds_and_repairs_every_failure_mode(store):
     repaired = store.fsck(repair=True)
     assert repaired.corrupt == [corrupt_key]
     assert (store.quarantine_dir / f"{corrupt_key}.json").exists()
+    # The torn manifest's object was intact, so the manifest is rebuilt
+    # from it instead of the work being discarded.
+    assert repaired.rebuilt_manifests == [unreadable_key]
+    assert repaired.unreadable_manifests == []
+    # The orphan has no live lease covering it: removed, not deferred.
+    assert repaired.orphan_objects == ["orphan.json"]
+    assert not (store.objects_dir / "orphan.json").exists()
     after = store.fsck()
-    # Orphans are left for gc (a live writer may not have recorded its
-    # manifest entry yet); everything else is repaired.
+    assert after.clean()
     assert after.corrupt == [] and after.missing_objects == []
     assert after.unreadable_manifests == [] and after.stray_tmp == []
-    assert after.orphan_objects == ["orphan.json"]
+    assert after.orphan_objects == []
     assert store.get_json(ok_key) == {"v": 1}
+    assert store.get_json(unreadable_key) == {"v": 4}
+    assert store.entry(unreadable_key).meta.get("rebuilt") is True
 
 
 def test_sweep_tmp_age_guard(store):
@@ -166,10 +174,79 @@ def test_gc_sweeps_orphans_tmp_and_quarantine(store):
     assert store.load_json(corrupt) is None  # quarantines
 
     removed = store.gc(tmp_older_than_s=0.0, purge_quarantine=True)
-    assert removed == {"orphan_objects": 1, "stray_tmp": 1, "quarantined": 1}
+    assert removed["orphan_objects"] == 1
+    assert removed["stray_tmp"] == 1
+    assert removed["quarantined"] == 1
+    assert removed["live_leases"] == []
     assert store.get_json(kept) == {"v": 1}
     assert not (store.objects_dir / "orphan.npz").exists()
     assert not any(store.quarantine_dir.iterdir())
+
+
+def test_fsck_repair_is_idempotent(store):
+    """A second repair pass over the same store reports all-clean."""
+    store.put_json(stable_key({"keep": "idem"}), {"v": 1})
+    corrupt = stable_key({"corrupt": "idem"})
+    store.put_json(corrupt, {"v": 2})
+    _corrupt_object(store, corrupt)
+    torn = stable_key({"torn": "idem"})
+    store.put_json(torn, {"v": 3})
+    (store.manifest_dir / f"{torn}.json").write_text("{torn")
+    (store.objects_dir / "orphan.json").write_text("{}")
+    (store.objects_dir / ".stray.json.abc.tmp").write_text("partial")
+
+    first = store.fsck(repair=True)
+    assert not first.clean()
+    second = store.fsck(repair=True)
+    assert second.clean()
+    assert second.corrupt == [] and second.orphan_objects == []
+    assert second.rebuilt_manifests == [] and second.stray_tmp == []
+    # Two verified keys: the untouched one and the rebuilt one.
+    assert len(second.ok) == 2
+
+
+def test_repeated_corruption_keeps_every_quarantined_payload(store):
+    """Quarantining the same key twice must not clobber the first payload."""
+    key = stable_key({"quarantine": "repeat"})
+    store.put_json(key, {"v": 1})
+    _corrupt_object(store, key, b"first corruption")
+    assert store.load_json(key) is None
+    store.put_json(key, {"v": 1})
+    _corrupt_object(store, key, b"second corruption")
+    assert store.load_json(key) is None
+    first = store.quarantine_dir / f"{key}.json"
+    second = store.quarantine_dir / f"{key}.json.1"
+    assert first.read_bytes() == b"first corruption"
+    assert second.read_bytes() == b"second corruption"
+
+
+def test_read_vs_discard_race_is_a_clean_miss(store, monkeypatch):
+    """An object vanishing between the manifest read and the payload read
+    (concurrent discard/gc) must be a miss, not a raw FileNotFoundError."""
+    key = stable_key({"race": "read"})
+    store.put_json(key, {"v": 7})
+    stale_entry = store.entry(key)
+    (store.objects_dir / stale_entry.filename).unlink()
+    # Freeze the manifest view at the pre-delete entry: this is exactly
+    # what a reader that parsed the manifest just before the discard sees.
+    monkeypatch.setattr(store, "entry", lambda _key: stale_entry)
+    with pytest.raises(KeyError):
+        store.get_json(key)
+    assert store.load_json(key) is None
+    assert store.load_arrays(key) is None
+
+
+def test_manifest_entry_tolerates_unknown_extra_fields():
+    """Entries written by a newer store stay readable by this code."""
+    from repro.store import ManifestEntry
+
+    payload = {"format_version": STORE_FORMAT_VERSION + 1, "key": "k",
+               "kind": "json", "filename": "k.json", "meta": {"a": 1},
+               "digest": "0" * 64,
+               "compression": "zstd", "shards": [1, 2, 3]}
+    entry = ManifestEntry.from_dict(payload)
+    assert entry.key == "k" and entry.filename == "k.json"
+    assert entry.meta == {"a": 1} and entry.digest == "0" * 64
 
 
 # -- discard ------------------------------------------------------------------
@@ -236,11 +313,13 @@ def test_cli_store_fsck_and_gc(tmp_path, capsys):
     assert main(["store", "fsck", str(store.root), "--repair"]) == 1
     capsys.readouterr()
     assert (store.quarantine_dir / f"{bad}.json").exists()
+    # Repair also removed the unleased orphan.
+    assert not (store.objects_dir / "orphan.json").exists()
 
     assert main(["store", "gc", str(store.root), "--tmp-age", "0",
                  "--purge-quarantine"]) == 0
     out = capsys.readouterr().out
-    assert "1 orphan object(s)" in out and "1 quarantined" in out
+    assert "0 orphan object(s)" in out and "1 quarantined" in out
 
     assert main(["store", "fsck", str(store.root)]) == 0
     assert "store is clean" in capsys.readouterr().out

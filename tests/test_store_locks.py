@@ -1,0 +1,254 @@
+"""Locks, leases and the shared retry/backoff policy."""
+
+from __future__ import annotations
+
+import errno
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaigns.supervisor import SupervisorPolicy
+from repro.store import (
+    FileLock,
+    LockTimeout,
+    RetryPolicy,
+    WriterLease,
+    backoff_delay_s,
+    break_stale_leases,
+    is_transient_os_error,
+    list_leases,
+    live_foreign_leases,
+)
+from repro.store.locks import HAVE_FCNTL
+
+
+# -- FileLock -----------------------------------------------------------------
+
+
+def _hold_exclusive(path, acquired, release):
+    lock = FileLock(path)
+    lock.acquire(shared=False, timeout_s=10.0)
+    acquired.set()
+    release.wait(30.0)
+    lock.release()
+
+
+@pytest.mark.skipif(not HAVE_FCNTL, reason="fcntl locks unavailable")
+def test_exclusive_lock_excludes_other_processes(tmp_path):
+    path = tmp_path / "store.lock"
+    ctx = multiprocessing.get_context()
+    acquired, release = ctx.Event(), ctx.Event()
+    holder = ctx.Process(target=_hold_exclusive,
+                         args=(path, acquired, release))
+    holder.start()
+    try:
+        assert acquired.wait(10.0)
+        mine = FileLock(path)
+        assert not mine.try_acquire(shared=False)
+        assert not mine.try_acquire(shared=True)
+        with pytest.raises(LockTimeout):
+            mine.acquire(shared=False, timeout_s=0.2)
+    finally:
+        release.set()
+        holder.join(10.0)
+    # Released by the holder: now acquirable.
+    mine = FileLock(path)
+    assert mine.try_acquire(shared=False)
+    mine.release()
+
+
+def _hold_shared(path, acquired, release):
+    lock = FileLock(path)
+    lock.acquire(shared=True, timeout_s=10.0)
+    acquired.set()
+    release.wait(30.0)
+    lock.release()
+
+
+@pytest.mark.skipif(not HAVE_FCNTL, reason="fcntl locks unavailable")
+def test_shared_locks_coexist_and_block_exclusive(tmp_path):
+    path = tmp_path / "store.lock"
+    ctx = multiprocessing.get_context()
+    acquired, release = ctx.Event(), ctx.Event()
+    holder = ctx.Process(target=_hold_shared, args=(path, acquired, release))
+    holder.start()
+    try:
+        assert acquired.wait(10.0)
+        reader = FileLock(path)
+        assert reader.try_acquire(shared=True)  # shared + shared: fine
+        reader.release()
+        writer = FileLock(path)
+        assert not writer.try_acquire(shared=False)  # shared blocks excl
+    finally:
+        release.set()
+        holder.join(10.0)
+
+
+@pytest.mark.skipif(not HAVE_FCNTL, reason="fcntl locks released by kernel")
+def test_kernel_releases_fcntl_lock_when_holder_is_killed(tmp_path):
+    path = tmp_path / "store.lock"
+    ctx = multiprocessing.get_context()
+    acquired, release = ctx.Event(), ctx.Event()
+    holder = ctx.Process(target=_hold_exclusive,
+                         args=(path, acquired, release))
+    holder.start()
+    assert acquired.wait(10.0)
+    holder.kill()  # SIGKILL: no release() ever runs
+    holder.join(10.0)
+    mine = FileLock(path)
+    mine.acquire(shared=False, timeout_s=5.0)  # kernel dropped the lock
+    mine.release()
+
+
+def test_fallback_lock_is_exclusive_and_breaks_dead_holders(tmp_path):
+    path = tmp_path / "store.lock"
+    first = FileLock(path, use_fcntl=False)
+    assert first.try_acquire()
+    second = FileLock(path, use_fcntl=False)
+    assert not second.try_acquire()
+    assert not second.try_acquire(shared=True)  # fallback has no shared side
+    first.release()
+    assert second.try_acquire()
+    second.release()
+
+    # A lock file naming a dead pid is broken and then acquirable.
+    held = path.with_name(path.name + ".held")
+    held.write_text("999999999")
+    third = FileLock(path, use_fcntl=False)
+    third.acquire(timeout_s=5.0)
+    assert third.held
+    third.release()
+    assert not held.exists()
+
+
+def test_lock_is_not_reentrant_and_context_managers_release(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    with lock.exclusive():
+        assert lock.held
+        with pytest.raises(RuntimeError):
+            lock.try_acquire()
+    assert not lock.held
+    with lock.shared():
+        assert lock.held
+    assert not lock.held
+
+
+# -- retry / backoff ----------------------------------------------------------
+
+
+def test_backoff_formula_matches_supervisor_schedule():
+    """One formula for the whole repo: the supervisor's pinned backoff
+    schedule and the shared helper must agree bit-for-bit."""
+    policy = SupervisorPolicy(retry_backoff_s=0.5, seed=42)
+    for cell_index in (0, 3, 17):
+        for attempt in (1, 2, 3, 4):
+            expected = backoff_delay_s(0.5, attempt,
+                                       token=f"42:{cell_index}")
+            assert policy.backoff_s(cell_index, attempt) == expected
+    # Determinism and exponential envelope.
+    assert backoff_delay_s(0.5, 1, "t") == backoff_delay_s(0.5, 1, "t")
+    assert 0.25 <= backoff_delay_s(0.5, 1, "t") <= 0.75
+    assert 1.0 <= backoff_delay_s(0.5, 3, "t") <= 3.0
+    assert backoff_delay_s(0.0, 5, "t") == 0.0
+    assert backoff_delay_s(10.0, 5, "t", cap_s=0.1) == 0.1
+
+
+def test_retry_policy_retries_transient_errors_only():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError(errno.EAGAIN, "try again")
+        return "ok"
+
+    policy = RetryPolicy(attempts=4, base_s=0.0, token="test")
+    assert policy.call(flaky) == "ok"
+    assert calls["n"] == 3
+
+    def always_enoent():
+        raise FileNotFoundError(errno.ENOENT, "gone")
+
+    with pytest.raises(FileNotFoundError):
+        policy.call(always_enoent)  # non-transient: no retries
+
+    calls["n"] = 0
+
+    def always_eagain():
+        calls["n"] += 1
+        raise OSError(errno.EAGAIN, "busy forever")
+
+    with pytest.raises(OSError):
+        policy.call(always_eagain)
+    assert calls["n"] == 4  # bounded
+
+    assert is_transient_os_error(OSError(errno.EBUSY, "x"))
+    assert not is_transient_os_error(ValueError("x"))
+    assert not is_transient_os_error(OSError(errno.EACCES, "x"))
+
+
+# -- leases -------------------------------------------------------------------
+
+
+def test_lease_lifecycle(tmp_path):
+    leases_dir = tmp_path / "leases"
+    with WriterLease(leases_dir, owner="test", ttl_s=60.0) as lease:
+        infos = list_leases(leases_dir)
+        assert len(infos) == 1
+        assert infos[0].pid == os.getpid()
+        assert infos[0].owner == "test"
+        assert infos[0].is_live()
+        # Own leases are excluded from the foreign-live view.
+        assert live_foreign_leases(leases_dir) == []
+        assert live_foreign_leases(leases_dir, ignore_pid=-1) == infos
+        # A fresh heartbeat is a no-op write-wise (cheap), force rewrites.
+        before = lease.path.read_bytes()
+        lease.heartbeat()
+        assert lease.path.read_bytes() == before
+        lease.heartbeat(force=True)
+    assert list_leases(leases_dir) == []
+
+
+def test_stale_leases_are_broken(tmp_path):
+    leases_dir = tmp_path / "leases"
+    leases_dir.mkdir()
+    # Expired heartbeat (live pid): stale.
+    expired = WriterLease(leases_dir, owner="expired", ttl_s=-1.0).acquire()
+    # Dead pid (unexpired): stale.
+    dead = leases_dir / "host-999999999-1.json"
+    dead.write_text(json.dumps({"pid": 999999999, "host": "nowhere... no",
+                                "owner": "dead",
+                                "expires_at": time.time() + 3600}))
+    # But same-host dead pid:
+    import socket
+    dead_local = leases_dir / f"{socket.gethostname()}-999999998-2.json"
+    dead_local.write_text(json.dumps({
+        "pid": 999999998, "host": socket.gethostname(), "owner": "deadpid",
+        "expires_at": time.time() + 3600}))
+    # Torn lease file: swept too.
+    torn = leases_dir / "torn.json"
+    torn.write_text("{not json")
+    # Live lease: kept.
+    live = WriterLease(leases_dir, owner="live", ttl_s=3600.0).acquire()
+
+    broken = break_stale_leases(leases_dir)
+    names = {info.owner for info in broken}
+    assert names == {"expired", "deadpid"}
+    assert not expired.path.exists()
+    assert not dead_local.exists()
+    assert not torn.exists()
+    assert dead.exists()  # off-host + unexpired: not provably stale
+    assert live.path.exists()
+    live.release()
+
+
+def test_broken_lease_resurrects_on_next_heartbeat(tmp_path):
+    leases_dir = tmp_path / "leases"
+    lease = WriterLease(leases_dir, ttl_s=60.0).acquire()
+    lease.path.unlink()  # a maintenance pass broke it
+    lease.heartbeat(force=True)
+    assert lease.path.exists()
+    lease.release()
