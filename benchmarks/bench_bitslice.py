@@ -1,0 +1,161 @@
+"""BITSLICED KERNEL — uint64 bitplane sweep versus the uint8 sweep.
+
+The bitsliced kernel's claim: on the campaign hot path — trojan-trigger
+reduction grids (wide AND/OR/XOR trees, the logic every stimulus sweep
+re-evaluates thousands of times) — the packed uint64 word kernel
+(:meth:`~repro.netlist.bitslice.BitslicedNetlist.sweep_packed`) runs
+**at least 8x faster** than the uint8 compiled sweep, with unpacked
+outputs bit-identical.
+
+The gate is on the packed-resident kernel: campaign-style callers keep
+stimuli packed across many evaluations, so pack/unpack amortises away.
+End-to-end ``evaluate_batch`` numbers (which pay pack + unpack every
+call) and the S-box grid (generic LUT6 fallback, the kernel's worst
+class) are recorded ungated in ``extra_info`` alongside the warm-eval
+delta of the int32 scratch-buffer fix to the uint8 sweep itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backend import use_backend
+from repro.netlist import Netlist, build_sbox_netlist
+from repro.netlist.synth import synthesize_reduction_tree
+
+NUM_VECTORS = 1 << 15
+NUM_TREES = 24
+NUM_INPUTS = 128
+SEED = 2015
+MIN_SPEEDUP = 8.0
+
+
+def _build_trigger_grid() -> Netlist:
+    """A grid of trojan-trigger-style reduction trees.
+
+    The shapes the paper's trojans use: wide AND arming conditions,
+    XOR parity chains, OR alarm collection — all of which lower to the
+    cheap bitsliced word classes rather than the generic LUT ladder.
+    """
+    netlist = Netlist(
+        "trigger_grid",
+        inputs=[f"pi{index}" for index in range(NUM_INPUTS)])
+    collected = []
+    for tree in range(NUM_TREES):
+        taps = [netlist.inputs[(tree * 7 + offset) % NUM_INPUTS]
+                for offset in range(17)]
+        synthesize_reduction_tree(netlist, f"arm{tree}", taps,
+                                  f"armed{tree}", "and")
+        parity_taps = [netlist.inputs[(tree * 11 + offset) % NUM_INPUTS]
+                      for offset in range(13)]
+        synthesize_reduction_tree(netlist, f"par{tree}", parity_taps,
+                                  f"parity{tree}", "xor")
+        collected += [f"armed{tree}", f"parity{tree}"]
+    synthesize_reduction_tree(netlist, "alarm", collected, "alarm", "or")
+    return netlist
+
+
+def _best_of(repeats: int, call) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _old_astype_sweep(compiled, state: np.ndarray) -> None:
+    """The pre-fix uint8 sweep: a fresh int32 copy of every gathered
+    pin slice, kept inline here as the scratch-fix reference."""
+    for start, end in compiled.level_slices:
+        arity = int(compiled.arity[start:end].max())
+        address = state[:, compiled.input_idx[start:end, 0]].astype(np.int32)
+        for pin in range(1, arity):
+            address |= (state[:, compiled.input_idx[start:end, pin]]
+                        .astype(np.int32) << pin)
+        address += compiled.table_offset[start:end][None, :]
+        state[:, compiled.output_idx[start:end]] = compiled.tables[address]
+
+
+def test_bitsliced_trigger_grid_matches_uint8_and_is_8x_faster(benchmark):
+    netlist = _build_trigger_grid()
+    compiled = netlist.compiled()
+    lowered = compiled.bitsliced()
+    rng = np.random.default_rng(SEED)
+    rows = rng.integers(0, 2, size=(NUM_VECTORS, NUM_INPUTS),
+                        dtype=np.uint8)
+
+    # Bit-identity first, through the public backend seam (pays pack +
+    # unpack), on a ragged tail so the padding lanes are exercised too.
+    reference = compiled.evaluate_batch(rows[:-17])
+    with use_backend("bitslice"):
+        assert np.array_equal(compiled.evaluate_batch(rows[:-17]),
+                              reference)
+
+    # The packed-resident kernel: stimuli packed once, swept in place.
+    from repro.netlist.bitslice import pack_bits
+    state = compiled._prepare_state(rows, None, None, None)
+    words = pack_bits(state)
+
+    compiled.evaluate_batch(rows)           # warm caches on both paths
+    lowered.sweep_packed(words.copy())
+
+    uint8_seconds = _best_of(3, lambda: compiled.evaluate_batch(rows))
+    packed_seconds = _best_of(
+        3, lambda: lowered.sweep_packed(words.copy()))
+    kernel_speedup = uint8_seconds / packed_seconds
+
+    start = time.perf_counter()
+    with use_backend("bitslice"):
+        compiled.evaluate_batch(rows)
+    end_to_end_seconds = time.perf_counter() - start
+
+    # Satellite note: warm-eval delta of the int32 scratch-buffer fix
+    # (reused ufunc-out scratch versus a fresh .astype copy per pin).
+    scratch_state = compiled._prepare_state(rows, None, None, None)
+    old_state = scratch_state.copy()
+    compiled._sweep(scratch_state)
+    _old_astype_sweep(compiled, old_state)
+    assert np.array_equal(scratch_state, old_state), \
+        "scratch-buffer sweep must be bit-identical to the astype sweep"
+    new_sweep_seconds = _best_of(
+        3, lambda: compiled._sweep(scratch_state))
+    old_sweep_seconds = _best_of(
+        3, lambda: _old_astype_sweep(compiled, old_state))
+
+    # The kernel's worst class: the S-box grid is generic LUT6 logic,
+    # evaluated through the Shannon mux-ladder fallback.
+    sbox = build_sbox_netlist().compiled()
+    sbox_rows = rng.integers(0, 2, size=(NUM_VECTORS, 8), dtype=np.uint8)
+    sbox_reference = sbox.evaluate_batch(sbox_rows[:100])
+    with use_backend("bitslice"):
+        assert np.array_equal(sbox.evaluate_batch(sbox_rows[:100]),
+                              sbox_reference)
+    sbox_uint8 = _best_of(3, lambda: sbox.evaluate_batch(sbox_rows))
+    with use_backend("bitslice"):
+        sbox_sliced = _best_of(3, lambda: sbox.evaluate_batch(sbox_rows))
+
+    benchmark.extra_info["uint8_seconds"] = round(uint8_seconds, 4)
+    benchmark.extra_info["packed_kernel_seconds"] = round(packed_seconds, 4)
+    benchmark.extra_info["speedup"] = round(kernel_speedup, 2)
+    benchmark.extra_info["gate"] = MIN_SPEEDUP
+    benchmark.extra_info["end_to_end_seconds"] = round(end_to_end_seconds, 4)
+    benchmark.extra_info["end_to_end_speedup"] = round(
+        uint8_seconds / end_to_end_seconds, 2)
+    benchmark.extra_info["sbox_end_to_end_speedup"] = round(
+        sbox_uint8 / sbox_sliced, 2)
+    benchmark.extra_info["scratch_fix_speedup"] = round(
+        old_sweep_seconds / new_sweep_seconds, 2)
+    benchmark.extra_info["num_vectors"] = NUM_VECTORS
+    benchmark.extra_info["nets"] = compiled.num_nets
+    benchmark.extra_info["levels"] = len(compiled.level_slices)
+    assert kernel_speedup >= MIN_SPEEDUP, (
+        f"bitsliced kernel must be >= {MIN_SPEEDUP}x faster than the "
+        f"uint8 sweep (uint8 {uint8_seconds:.4f} s, packed "
+        f"{packed_seconds:.4f} s, {kernel_speedup:.1f}x)"
+    )
+
+    # Steady-state cost of one packed-resident sweep on warm caches.
+    benchmark(lambda: lowered.sweep_packed(words.copy()))

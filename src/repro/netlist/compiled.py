@@ -35,13 +35,21 @@ invalidate the cache together with the topological order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import active_backend
 from .cells import Cell, CellType
 from .netlist import Netlist, NetlistError
 from .timing import DelayAnnotation, TwoVectorResult
+
+#: Upper bound on the boolean toggle-chunk size (elements) the
+#: switching-activity kernel materialises at once; bounds peak RSS at
+#: million-die scale instead of the full (groups x states x nets)
+#: tensor.
+_TOGGLE_CHUNK_ELEMS = 1 << 21
 
 #: Truth table of the MUX2 primitive in LUT form.  Input order is the
 #: cell's ``(select, in0, in1)``, with input 0 as address bit 0:
@@ -278,6 +286,32 @@ class CompiledNetlist:
         -------
         ``(num_vectors, num_nets)`` uint8 matrix; columns follow
         :attr:`net_names`.
+
+        The sweep itself dispatches on the active
+        :mod:`repro.backend`: the default ``numpy`` backend runs the
+        uint8 lane kernel (:meth:`_sweep`, the pinned reference), a
+        backend with ``bitslice=True`` routes through the packed uint64
+        bitplane kernel (:mod:`repro.netlist.bitslice`) — bit-identical
+        results either way.
+        """
+        state = self._prepare_state(input_rows, input_nets,
+                                    register_rows, register_nets)
+        backend = active_backend()
+        if backend.bitslice:
+            return self.bitsliced().evaluate_state(state, xp=backend.xp)
+        self._sweep(state)
+        return state[:, : self.num_nets]
+
+    def _prepare_state(self, input_rows: np.ndarray,
+                       input_nets: Optional[Sequence[str]] = None,
+                       register_rows: Optional[np.ndarray] = None,
+                       register_nets: Optional[Sequence[str]] = None
+                       ) -> np.ndarray:
+        """Validate a stimulus batch and build the padded value matrix.
+
+        Returns the ``(num_vectors, num_nets + 1)`` uint8 state with
+        input, constant and register planes written — the matrix both
+        sweep kernels (uint8 lanes and uint64 bitplanes) consume.
         """
         input_rows = np.ascontiguousarray(input_rows, dtype=np.uint8) & 1
         if input_rows.ndim != 2:
@@ -301,6 +335,18 @@ class CompiledNetlist:
                  if net in self.net_index]
         cols = np.array([self.net_index[input_nets[pos]] for pos in known],
                         dtype=np.int32)
+        known_nets = [input_nets[pos] for pos in known]
+        if len(set(known_nets)) != len(known_nets):
+            # Duplicate known nets would make the fancy assignment below
+            # depend on numpy's (undefined) duplicate-index write order;
+            # the interpreted reference takes a Mapping, which cannot
+            # express duplicates at all — so neither do we.  Duplicates
+            # among *stray* (unknown) nets stay ignored, as before.
+            duplicates = sorted({net for net in known_nets
+                                 if known_nets.count(net) > 1})
+            raise NetlistError(
+                f"duplicate stimulus net(s) {duplicates} in input_nets"
+            )
         state[:, cols] = input_rows[:, known]
         # Constants and register values override stray stimulus entries,
         # exactly as the interpreted walk's write order does.
@@ -324,29 +370,79 @@ class CompiledNetlist:
                 )
             reg_known = [pos for pos, net in enumerate(register_nets)
                          if net in self.dff_index]
+            reg_nets_known = [register_nets[pos] for pos in reg_known]
+            if len(set(reg_nets_known)) != len(reg_nets_known):
+                duplicates = sorted({net for net in reg_nets_known
+                                     if reg_nets_known.count(net) > 1})
+                raise NetlistError(
+                    f"duplicate register net(s) {duplicates} in register_nets"
+                )
             reg_cols = np.array(
                 [self.dff_index[register_nets[pos]] for pos in reg_known],
                 dtype=np.int32,
             )
             if reg_cols.size:
                 state[:, reg_cols] = register_rows[:, reg_known]
+        return state
 
-        self._sweep(state)
-        return state[:, : self.num_nets]
+    @cached_property
+    def _level_widths_arities(self) -> List[Tuple[int, int]]:
+        """Per level: (cell count, max arity) — sized once per lowering."""
+        return [(end - start, int(self.arity[start:end].max()))
+                for start, end in self.level_slices]
 
     def _sweep(self, state: np.ndarray) -> None:
-        """Levelised vectorised evaluation over a padded value matrix."""
-        for start, end in self.level_slices:
-            arity = int(self.arity[start:end].max())
-            address = state[:, self.input_idx[start:end, 0]].astype(np.int32)
+        """Levelised vectorised evaluation over a padded value matrix.
+
+        The per-level LUT addresses accumulate into one reused int32
+        scratch pair (sized to the widest level) via ufunc ``out=``
+        writes, instead of re-materialising an int32 copy of every
+        gathered pin slice — same arithmetic, no per-pin temporaries.
+        The scratch is kept flat and reshaped per level so every ufunc
+        writes a contiguous block (a ``[:, :width]`` view would stride).
+        """
+        if not self.level_slices:
+            return
+        num_vectors = state.shape[0]
+        max_width = max(width for width, _ in self._level_widths_arities)
+        address = np.empty(num_vectors * max_width, dtype=np.int32)
+        shifted = np.empty(num_vectors * max_width, dtype=np.int32)
+        for (start, end), (width, arity) in zip(self.level_slices,
+                                                self._level_widths_arities):
+            level_elems = num_vectors * width
+            level_address = address[:level_elems].reshape(num_vectors, width)
+            level_shifted = shifted[:level_elems].reshape(num_vectors, width)
+            np.copyto(level_address, state[:, self.input_idx[start:end, 0]],
+                      casting="unsafe")
             for pin in range(1, arity):
                 # Padded pins gather the always-zero column and therefore
-                # contribute nothing to the address.
-                address |= (state[:, self.input_idx[start:end, pin]]
-                            .astype(np.int32) << pin)
-            state[:, self.output_idx[start:end]] = self.tables[
-                self.table_offset[start:end][None, :] + address
-            ]
+                # contribute nothing to the address.  The cast and the
+                # shift run as separate passes: a dtype-converting ufunc
+                # ``out=`` would fall into numpy's buffered (slower)
+                # inner loop, while copyto casts at memcpy speed.
+                np.copyto(level_shifted, state[:, self.input_idx[start:end,
+                                                                 pin]],
+                          casting="unsafe")
+                np.left_shift(level_shifted, pin, out=level_shifted)
+                np.bitwise_or(level_address, level_shifted,
+                              out=level_address)
+            np.add(level_address, self.table_offset[start:end][None, :],
+                   out=level_address)
+            state[:, self.output_idx[start:end]] = self.tables[level_address]
+
+    def bitsliced(self) -> "BitslicedNetlist":
+        """The uint64 bitplane lowering of this netlist (cached).
+
+        Lowered lazily on first use (the bitslice backend's dispatch or
+        a direct caller) and cached on the instance, mirroring
+        :meth:`Netlist.compiled`.
+        """
+        cached = self.__dict__.get("_bitsliced_cache")
+        if cached is None:
+            from .bitslice import BitslicedNetlist
+            cached = BitslicedNetlist.from_compiled(self)
+            self.__dict__["_bitsliced_cache"] = cached
+        return cached
 
     def evaluate(self, input_values: Mapping[str, int],
                  register_values: Optional[Mapping[str, int]] = None
@@ -378,6 +474,29 @@ class CompiledNetlist:
 
     # -- switching activity ---------------------------------------------------
 
+    @cached_property
+    def _toggle_gather(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unique toggle columns plus int64 multiplicity weights.
+
+        ``all_pin_columns`` holds one entry per cell input *pin*, so a
+        net fanning out to several pins appears several times; summing
+        a gathered boolean over those duplicates equals a weighted sum
+        over the unique columns — which is what the lean toggle kernel
+        computes.
+        """
+        combined = np.concatenate([self.all_output_columns,
+                                   self.all_pin_columns])
+        unique_cols = np.unique(combined) if combined.size else \
+            np.zeros(0, dtype=np.int64)
+        length = self.num_nets + 1
+        output_weights = np.bincount(self.all_output_columns,
+                                     minlength=length)[unique_cols]
+        pin_weights = np.bincount(self.all_pin_columns,
+                                  minlength=length)[unique_cols]
+        return (unique_cols.astype(np.int64),
+                output_weights.astype(np.int64),
+                pin_weights.astype(np.int64))
+
     def toggle_counts(self, values: np.ndarray
                       ) -> "Tuple[np.ndarray, np.ndarray]":
         """Per-transition output and input-pin toggle counts.
@@ -401,10 +520,34 @@ class CompiledNetlist:
                 f"values must be (states x {self.num_nets}) or "
                 f"(groups x states x {self.num_nets}), got {values.shape}"
             )
-        toggles = values[..., 1:, :] != values[..., :-1, :]
-        output_toggles = toggles[..., self.all_output_columns].sum(axis=-1)
-        pin_toggles = toggles[..., self.all_pin_columns].sum(axis=-1)
-        return output_toggles.astype(np.int64), pin_toggles.astype(np.int64)
+        # Lean kernel: instead of materialising the full (groups x
+        # states x nets) boolean toggle tensor plus two gathered copies
+        # (the peak-RSS driver at million-die scale), gather only the
+        # columns any cell output or pin actually uses, one bounded
+        # transition chunk at a time, and fold fan-out multiplicity
+        # into int64 weight vectors.  Results are identical.
+        squeeze = values.ndim == 2
+        tensor = values[None] if squeeze else values
+        groups, states = tensor.shape[0], tensor.shape[1]
+        transitions = max(states - 1, 0)
+        unique_cols, output_weights, pin_weights = self._toggle_gather
+        output_toggles = np.zeros((groups, transitions), dtype=np.int64)
+        pin_toggles = np.zeros((groups, transitions), dtype=np.int64)
+        if transitions and unique_cols.size:
+            step = max(1, _TOGGLE_CHUNK_ELEMS
+                       // max(1, groups * unique_cols.size))
+            for begin in range(0, transitions, step):
+                stop = min(transitions, begin + step)
+                before = tensor[:, begin:stop][..., unique_cols]
+                after = tensor[:, begin + 1:stop + 1][..., unique_cols]
+                flat = (before != after).reshape(-1, unique_cols.size)
+                output_toggles[:, begin:stop] = \
+                    (flat @ output_weights).reshape(groups, stop - begin)
+                pin_toggles[:, begin:stop] = \
+                    (flat @ pin_weights).reshape(groups, stop - begin)
+        if squeeze:
+            return output_toggles[0], pin_toggles[0]
+        return output_toggles, pin_toggles
 
 
 class CompiledTimingEngine:
