@@ -1,0 +1,132 @@
+"""STORE — tiered (local + loopback remote) overhead on warm resume.
+
+ISSUE 10's remote layer (write-through :class:`TieredStore`, SHA-verified
+:class:`RemoteStore` puts/gets, retry + circuit-breaker bookkeeping) must
+stay close to free on the path users actually feel: a warm store-backed
+rerun that resolves every cell from the local tier's manifest.  The gate:
+the tiered store's warm rerun takes at most **20%** longer than the same
+rerun against a plain local :class:`ArtifactStore`, plus a small absolute
+slack so the gate is meaningful on runs whose total is a few dozen
+milliseconds.
+
+The warm rows must also stay bit-identical between the two modes —
+tiering is a durability feature, never a behaviour change.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaigns import CampaignEngine, CampaignSpec
+from repro.store import LoopbackTransport, RemoteStore, TieredStore
+
+NUM_DIES = 8
+TROJANS = ("HT1", "HT2", "HT3")
+SEED = 2015
+
+#: Tiered warm rerun may cost at most 20% over the plain-local baseline ...
+OVERHEAD_GATE = 1.20
+#: ... plus this absolute slack: a warm rerun is tens of milliseconds,
+#: where scheduler noise alone can exceed 20%.
+ABSOLUTE_SLACK_S = 0.25
+
+#: Warm reruns per timing sample (averaging tames filesystem jitter).
+REPEATS = 3
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="remote-store-bench", trojans=TROJANS, die_counts=(NUM_DIES,),
+        metrics=("local_maxima_sum", "delay_max_difference"),
+        num_pk_pairs=8, delay_repetitions=5, seed=SEED,
+    )
+
+
+def _tiered(local_dir: Path, remote_dir: Path) -> TieredStore:
+    return TieredStore(local_dir, RemoteStore(LoopbackTransport(remote_dir)))
+
+
+def _warm_rerun_seconds(spec: CampaignSpec, make_store) -> tuple:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        result = CampaignEngine(spec, store=make_store()).run()
+    elapsed = (time.perf_counter() - start) / REPEATS
+    return elapsed, [row.to_dict() for row in result.rows()]
+
+
+def test_tiered_overhead_on_warm_resume_is_within_20_percent(benchmark):
+    spec = _spec()
+    root = Path(tempfile.mkdtemp(prefix="bench_remote_store_"))
+    try:
+        local_dir = root / "local"
+        remote_dir = root / "remote"
+        plain_dir = root / "plain"
+
+        # Populate both configurations cold.
+        tiered = _tiered(local_dir, remote_dir)
+        CampaignEngine(spec, store=tiered).run()
+        assert tiered.pending_uploads() == [], (
+            "loopback replication must never journal"
+        )
+        CampaignEngine(spec, store=str(plain_dir)).run()
+
+        # Interleave-free ordering: plain baseline first, tiered second —
+        # both fully warm, each against its own populated directory.
+        plain_seconds, plain_rows = _warm_rerun_seconds(
+            spec, lambda: str(plain_dir))
+        tiered_seconds, tiered_rows = _warm_rerun_seconds(
+            spec, lambda: _tiered(local_dir, remote_dir))
+
+        assert tiered_rows == plain_rows, (
+            "tiering must never change campaign rows"
+        )
+
+        overhead = tiered_seconds / plain_seconds
+        budget = plain_seconds * OVERHEAD_GATE + ABSOLUTE_SLACK_S
+        benchmark.extra_info["plain_seconds"] = round(plain_seconds, 4)
+        benchmark.extra_info["tiered_seconds"] = round(tiered_seconds, 4)
+        benchmark.extra_info["overhead_factor"] = round(overhead, 3)
+        benchmark.extra_info["gate_factor"] = OVERHEAD_GATE
+        benchmark.extra_info["absolute_slack_s"] = ABSOLUTE_SLACK_S
+        benchmark.extra_info["repeats"] = REPEATS
+        benchmark.extra_info["cells"] = spec.num_cells()
+        assert tiered_seconds <= budget, (
+            f"tiered store costs {overhead:.2f}x on the warm resume path "
+            f"(tiered {tiered_seconds:.3f} s vs plain "
+            f"{plain_seconds:.3f} s; budget {budget:.3f} s)"
+        )
+
+        # The recorded benchmark is the steady-state tiered warm rerun —
+        # what a remote-backed campaign pays on every resume.
+        benchmark(lambda: CampaignEngine(
+            spec, store=_tiered(local_dir, remote_dir)).run())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_cold_remote_resume_recomputes_nothing():
+    """A fresh host (empty local tier, warm remote) must resolve every
+    cell by backfilling from the remote — zero recomputed cells, rows
+    bit-identical to the original run."""
+    spec = _spec()
+    root = Path(tempfile.mkdtemp(prefix="bench_remote_store_"))
+    try:
+        remote_dir = root / "remote"
+        first = CampaignEngine(
+            spec, store=_tiered(root / "host-a", remote_dir)).run()
+
+        host_b = _tiered(root / "host-b", remote_dir)
+        engine = CampaignEngine(spec, store=host_b)
+        for cell in spec.grid():
+            assert engine.load_cell_result(cell) is not None, (
+                f"cell {cell.index} missing from the remote tier"
+            )
+        second = engine.run()
+        assert [row.to_dict() for row in second.rows()] == \
+            [row.to_dict() for row in first.rows()]
+        assert host_b.backfills > 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -468,10 +468,19 @@ class CampaignEngine:
             DEFAULT_GOLDEN_SIGNATURE if golden is None
             else golden_signature(golden)
         )
-        if store is None or isinstance(store, ArtifactStore):
-            self.store: Optional[ArtifactStore] = store
+        if store is None or isinstance(store, (str, Path)):
+            self.store = (None if store is None
+                          else ArtifactStore(store))
+        elif isinstance(store, Mapping):
+            # A spawn_config dict (local/remote/tiered) — how worker
+            # processes receive tiered stores, which are not picklable
+            # as live objects.
+            from ..store import build_store
+            self.store = build_store(store)
         else:
-            self.store = ArtifactStore(store)
+            # Any object with the store surface (ArtifactStore,
+            # TieredStore, RemoteStore, chaos stores) is used as-is.
+            self.store = store
         #: Trojan insertion cache shared by every platform of the grid.
         self._infected_cache: Dict[str, InfectedDesign] = {}
         self._platform_cache: Dict[Tuple[int, str], HTDetectionPlatform] = {}
@@ -1289,7 +1298,7 @@ class CampaignEngine:
             chunks.setdefault(cell.acquisition_key, []).append(cell.index)
         spec_dict = self.spec.to_dict()
         artifact = str(self._artifact_dir) if self._artifact_dir else None
-        store_root = str(self.store.root) if self.store is not None else None
+        store_root = store_spawn_config(self.store)
         active = (sorted(self._active_indices)
                   if self._active_indices is not None else None)
         workers = min(self.spec.workers, len(chunks))
@@ -1312,10 +1321,25 @@ class CampaignEngine:
         return [results[cell.index] for cell in cells]
 
 
+def store_spawn_config(store: Any) -> Any:
+    """The picklable store description worker payloads carry.
+
+    Stores that know how to describe themselves (local/remote/tiered
+    ``spawn_config``) ship their config dict; anything else falls back
+    to its root path (rebuilt as a plain local store); ``None`` passes
+    through for store-less engines.
+    """
+    if store is None:
+        return None
+    if hasattr(store, "spawn_config"):
+        return store.spawn_config()
+    return str(store.root)
+
+
 def _run_cells_in_subprocess(payload: Tuple[Dict[str, Any], List[int],
                                             Optional[str], FPGADevice,
                                             Optional[GoldenDesign],
-                                            Optional[str], Any,
+                                            Optional[Any], Any,
                                             Optional[List[int]]]
                              ) -> List[CampaignCellResult]:
     """Worker entry point: rebuild the engine and run a chunk of cells."""

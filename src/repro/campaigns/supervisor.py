@@ -57,6 +57,7 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
+from ..store.artifact_store import ArtifactStore
 from ..store.retry import backoff_delay_s
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -147,15 +148,18 @@ def _worker_main(payload: Tuple[Any, ...], task_conn: Any,
     from .spec import CampaignSpec
 
     _ignore_interrupts()
-    (spec_dict, artifact_dir, device, golden, store_root, golden_sig,
+    (spec_dict, artifact_dir, device, golden, store_config, golden_sig,
      active, fault_plan) = payload
     engine = CampaignEngine(CampaignSpec.from_dict(spec_dict),
-                            device=device, golden=golden, store=store_root)
+                            device=device, golden=golden, store=store_config)
     engine._golden_signature = golden_sig
-    if store_root is not None and fault_plan is not None:
+    if fault_plan is not None and type(engine.store) is ArtifactStore:
         from ..testing.chaos import ChaosStore
 
-        engine.store = ChaosStore(store_root, fault_plan)
+        # Torn-write chaos targets the plain local store; tiered/remote
+        # stores get their faults injected at the transport layer
+        # (FlakyTransport) instead.
+        engine.store = ChaosStore(engine.store.root, fault_plan)
     if artifact_dir is not None:
         engine._artifact_dir = Path(artifact_dir)
     if active is not None:
@@ -224,13 +228,15 @@ class CampaignSupervisor:
     # -- worker lifecycle ---------------------------------------------------------
 
     def _worker_payload(self) -> Tuple[Any, ...]:
+        from .engine import store_spawn_config
+
         engine = self.engine
         return (
             engine.spec.to_dict(),
             str(engine._artifact_dir) if engine._artifact_dir else None,
             engine.device,
             engine._golden,
-            str(engine.store.root) if engine.store is not None else None,
+            store_spawn_config(engine.store),
             engine._golden_signature,
             (sorted(engine._active_indices)
              if engine._active_indices is not None else None),

@@ -21,7 +21,11 @@ Sub-commands:
   every stored payload against its recorded SHA-256 digest (and with
   ``--repair`` quarantines what fails), ``store gc`` sweeps orphan
   objects and stray temp files left by interrupted writes, ``store
-  leases`` lists the writer leases of a shared store.  Maintenance
+  leases`` lists the writer leases of a shared store, and ``store
+  sync`` drains a tiered store's pending-upload journal to its remote
+  once a partition heals (``campaign run --remote DIR`` mounts the
+  remote tier and degrades to local-only when it is unreachable).
+  Maintenance
   takes the exclusive store lock (``--wait`` bounds the wait, exit
   code 3 when writers keep it busy) and never touches objects covered
   by a live writer lease unless ``--force``.
@@ -176,7 +180,16 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print("error: --save-traces needs --out DIR to write the archives to",
               file=sys.stderr)
         return 2
-    engine = CampaignEngine(spec, store=args.store)
+    store = args.store
+    if getattr(args, "remote", None) is not None:
+        if args.store is None:
+            print("error: --remote needs --store DIR for the local tier",
+                  file=sys.stderr)
+            return 2
+        from .store import TieredStore
+
+        store = TieredStore(args.store, args.remote)
+    engine = CampaignEngine(spec, store=store)
     result = engine.run(artifact_dir=args.out, shard=args.shard)
     print(result.report())
     shard_note = (f" (shard {args.shard[0]}/{args.shard[1]} of "
@@ -187,6 +200,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print(f"summary written to {args.out}")
     if args.store is not None:
         print(f"artifact store: {args.store}")
+    if getattr(args, "remote", None) is not None:
+        pending = store.pending_uploads()
+        if pending:
+            print(f"remote degraded: {len(pending)} upload(s) journaled — "
+                  f"run `repro-ht store sync {args.store} "
+                  f"--remote {args.remote}` once the remote heals")
+        else:
+            print(f"remote store: {args.remote} (in sync)")
     # A degraded (quarantined-cell) run exits non-zero so scripts notice.
     return 1 if result.failed_cells() else 0
 
@@ -244,6 +265,30 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
         print(f"{len(removed['live_leases'])} live writer lease(s) — "
               f"{removed['skipped_leased']} candidate object(s) left "
               f"untouched (use --force only if the fleet is dead)")
+    return 0
+
+
+def cmd_store_sync(args: argparse.Namespace) -> int:
+    from .store import TieredStore
+
+    root = Path(args.store)
+    if not root.exists():
+        print(f"error: store directory {root} does not exist",
+              file=sys.stderr)
+        return 2
+    tiered = TieredStore(root, args.remote)
+    pending_before = len(tiered.pending_uploads())
+    stats = tiered.sync()
+    print(f"pending {pending_before} -> {len(stats['remaining'])}: "
+          f"{len(stats['uploaded'])} uploaded, "
+          f"{len(stats['skipped'])} already in sync, "
+          f"{len(stats['missing_local'])} dropped (gone locally)")
+    if stats["remaining"]:
+        print("remote still unreachable for: "
+              + ", ".join(stats["remaining"][:5])
+              + (" …" if len(stats["remaining"]) > 5 else ""))
+        return 1
+    print("journal drained; local and remote are in sync")
     return 0
 
 
@@ -530,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="I/N",
                        help="run only shard I of N (deterministic partition "
                             "of the grid; fuse results with campaign merge)")
+    p_run.add_argument("--remote", default=None, metavar="DIR",
+                       help="remote artifact store (directory/mount used as "
+                            "an object store) tiered behind --store: writes "
+                            "replicate through, reads fall back to it, and "
+                            "a partitioned remote degrades to local-only "
+                            "with a pending-upload journal (drain with "
+                            "`store sync`)")
     p_run.set_defaults(func=cmd_campaign_run)
 
     p_report = campaign_sub.add_parser(
@@ -591,6 +643,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore live writer leases (only when the "
                            "fleet is known dead)")
     p_gc.set_defaults(func=cmd_store_gc)
+
+    p_sync = store_sub.add_parser(
+        "sync", help="drain a local store's pending-upload journal to "
+                     "its remote (idempotent: content keys make replays "
+                     "safe)"
+    )
+    p_sync.add_argument("store", help="local artifact store directory")
+    p_sync.add_argument("--remote", required=True, metavar="DIR",
+                        help="remote store location (directory/mount)")
+    p_sync.set_defaults(func=cmd_store_sync)
 
     p_leases = store_sub.add_parser(
         "leases", help="list writer leases registered on a store"

@@ -34,6 +34,7 @@ from .artifacts import (
     unpack_fault_sweep,
     unpack_population_traces,
 )
+from .breaker import CircuitBreaker, CircuitOpenError
 from .keys import canonical_json, stable_key
 from .leases import (
     DEFAULT_LEASE_TTL_S,
@@ -44,31 +45,61 @@ from .leases import (
     live_foreign_leases,
 )
 from .locks import DEFAULT_LOCK_TIMEOUT_S, FileLock, LockTimeout
-from .retry import RetryPolicy, backoff_delay_s, is_transient_os_error
+from .remote import RemoteStore
+from .retry import (
+    RetryPolicy,
+    backoff_delay_s,
+    is_retryable_error,
+    is_transient_os_error,
+)
+from .tiered import PendingUploadJournal, TieredStore, build_store
+from .transport import (
+    FlakyTransport,
+    LoopbackTransport,
+    Transport,
+    TransportConnectionError,
+    TransportFaultKind,
+    TransportTimeout,
+    build_transport,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactStore",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DEFAULT_GOLDEN_SIGNATURE",
     "DEFAULT_LEASE_TTL_S",
     "DEFAULT_LOCK_TIMEOUT_S",
     "FileLock",
+    "FlakyTransport",
     "FsckReport",
     "LeaseInfo",
     "LockTimeout",
+    "LoopbackTransport",
     "ManifestEntry",
+    "PendingUploadJournal",
+    "RemoteStore",
     "RetryPolicy",
     "STORE_FORMAT_VERSION",
     "StoreIntegrityError",
+    "TieredStore",
+    "Transport",
+    "TransportConnectionError",
+    "TransportFaultKind",
+    "TransportTimeout",
     "WriterLease",
     "backoff_delay_s",
     "break_stale_leases",
+    "build_store",
+    "build_transport",
     "canonical_json",
     "cell_result_key",
     "delay_differences_key",
     "fault_sweep_key",
     "golden_signature",
     "infected_summary_key",
+    "is_retryable_error",
     "is_transient_os_error",
     "list_leases",
     "live_foreign_leases",

@@ -109,6 +109,51 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def encode_json_bytes(payload: Any) -> bytes:
+    """The canonical JSON payload encoding of the store.
+
+    One encoder serves every backend (local directory, remote object
+    store): identical payloads produce identical bytes, hence identical
+    digests, which is what makes replication and journal drains
+    idempotent.
+    """
+    from ..io.results import to_jsonable
+
+    return json.dumps(to_jsonable(payload), indent=2,
+                      sort_keys=True).encode()
+
+
+def encode_array_bytes(arrays: Mapping[str, "np.ndarray"]) -> bytes:
+    """The canonical compressed-npz payload encoding of the store."""
+    if not arrays:
+        raise ValueError("cannot store an empty array payload")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **{str(name): np.asarray(value)
+                                   for name, value in arrays.items()})
+    return buffer.getvalue()
+
+
+def decode_json_bytes(data: bytes) -> Any:
+    """Parse a JSON object payload (raises ``ValueError`` when torn)."""
+    return json.loads(data)
+
+
+def decode_array_bytes(data: bytes) -> Dict[str, "np.ndarray"]:
+    """Parse an npz object payload (raises on a torn/corrupt archive)."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _list_dir(directory: Path) -> List[Path]:
+    """Sorted children of ``directory``; empty when the directory is
+    missing (a fresh or partially-copied store must audit as empty, not
+    crash maintenance)."""
+    try:
+        return sorted(directory.iterdir())
+    except FileNotFoundError:
+        return []
+
+
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` via a same-directory temp file + replace."""
     handle, temp_name = tempfile.mkstemp(prefix=f".{path.name}.",
@@ -336,10 +381,7 @@ class ArtifactStore:
                  meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
         """Store a JSON-serialisable payload under ``key``."""
         _check_key(key)
-        from ..io.results import to_jsonable
-
-        data = json.dumps(to_jsonable(payload), indent=2,
-                          sort_keys=True).encode()
+        data = encode_json_bytes(payload)
         object_path = self.objects_dir / f"{key}.json"
         with self._write_guard(key):
             self._write_object(object_path, data)
@@ -350,16 +392,41 @@ class ArtifactStore:
                    meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
         """Store a named-array payload under ``key`` as compressed npz."""
         _check_key(key)
-        if not arrays:
-            raise ValueError("cannot store an empty array payload")
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **{str(name): np.asarray(value)
-                                       for name, value in arrays.items()})
-        data = buffer.getvalue()
+        data = encode_array_bytes(arrays)
         object_path = self.objects_dir / f"{key}.npz"
         with self._write_guard(key):
             self._write_object(object_path, data)
             return self._record(key, kind, object_path, meta, _sha256(data))
+
+    def put_verbatim(self, entry: ManifestEntry, data: bytes) -> ManifestEntry:
+        """Replicate an artifact byte-for-byte from another backend.
+
+        The tiered store's remote→local backfill (and any future
+        replicator) lands payloads through here: the bytes are verified
+        against the entry's digest *before* anything touches disk, then
+        written with the same atomic object-then-manifest protocol as a
+        fresh ``put_*`` — so a corrupt payload can never be installed as
+        a local hit.
+        """
+        _check_key(entry.key)
+        if entry.digest is not None and _sha256(data) != entry.digest:
+            raise StoreIntegrityError(
+                f"refusing to replicate artifact {entry.key!r}: payload "
+                f"bytes do not match the manifest digest")
+        object_path = self.objects_dir / entry.filename
+        with self._write_guard(entry.key):
+            self._write_object(object_path, data)
+            return self._record(entry.key, entry.kind, object_path,
+                                entry.meta, entry.digest)
+
+    def object_bytes(self, key: str) -> bytes:
+        """The verified raw payload bytes of ``key`` (for replication)."""
+        return self._verified_bytes(key)
+
+    def spawn_config(self) -> Dict[str, Any]:
+        """A picklable description a worker process can rebuild from."""
+        return {"kind": "local", "root": str(self.root),
+                "locking": self.locking}
 
     # -- read ---------------------------------------------------------------------
 
@@ -455,7 +522,7 @@ class ArtifactStore:
         """
         data = self._verified_bytes(key)
         try:
-            return json.loads(data)
+            return decode_json_bytes(data)
         except ValueError as error:
             object_path = self.objects_dir / f"{key}.json"
             destination = self._quarantine_object(key, object_path)
@@ -474,8 +541,7 @@ class ArtifactStore:
         """
         data = self._verified_bytes(key)
         try:
-            with np.load(io.BytesIO(data), allow_pickle=False) as archive:
-                return {name: archive[name] for name in archive.files}
+            return decode_array_bytes(data)
         except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
             object_path = self.objects_dir / f"{key}.npz"
             destination = self._quarantine_object(key, object_path)
@@ -550,6 +616,8 @@ class ArtifactStore:
         now = time.time()
         strays = []
         for directory in (self.objects_dir, self.manifest_dir):
+            if not directory.is_dir():
+                continue
             for path in sorted(directory.glob(".*.tmp")):
                 try:
                     age = now - path.stat().st_mtime
@@ -712,7 +780,7 @@ class ArtifactStore:
                 report.corrupt.append(key)
                 if repair:
                     self._quarantine_object(key, object_path)
-        for object_path in sorted(self.objects_dir.iterdir()):
+        for object_path in _list_dir(self.objects_dir):
             name = object_path.name
             if name.startswith(".") and name.endswith(".tmp"):
                 continue
@@ -779,13 +847,13 @@ class ArtifactStore:
             skipped_leased = 0
             if live:
                 skipped_leased = sum(
-                    1 for path in self.objects_dir.iterdir()
+                    1 for path in _list_dir(self.objects_dir)
                     if not (path.name.startswith(".")
                             and path.name.endswith(".tmp"))
                     and path.name not in self._protected_filenames())
             else:
                 referenced = self._protected_filenames()
-                for object_path in sorted(self.objects_dir.iterdir()):
+                for object_path in _list_dir(self.objects_dir):
                     name = object_path.name
                     if name.startswith(".") and name.endswith(".tmp"):
                         continue

@@ -1,0 +1,96 @@
+"""A circuit breaker for the remote store's transport calls.
+
+Classic three-state breaker:
+
+* **closed** — operations flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: every operation is refused immediately with
+  :class:`CircuitOpenError` (no transport call, no retry burn) until
+  ``reset_after`` ticks of the injected clock have elapsed.
+* **half-open** — after the cooldown, exactly *one* probe operation is
+  let through.  Success closes the breaker; failure re-opens it and
+  restarts the cooldown.
+
+The clock is injectable and defaults to ``time.monotonic``.  Tests (and
+the deterministic chaos suite) inject a counter-based clock so breaker
+transitions depend only on the operation sequence, never on wall-clock
+scheduling.  :class:`CircuitOpenError` subclasses ``ConnectionError``
+on purpose: callers that already degrade gracefully on connection
+failures (the tiered store) treat a tripped breaker exactly like an
+unreachable remote, which is what it means.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+
+class CircuitOpenError(ConnectionError):
+    """Raised instead of calling the transport while the breaker is open."""
+
+
+class CircuitBreaker:
+    """Counts consecutive failures; trips, cools down, probes.
+
+    ``transitions`` records every state change as ``(clock_value,
+    from_state, to_state)`` tuples — the chaos tests pin this log to
+    prove determinism.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_after: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def _move(self, to_state: str) -> None:
+        if to_state == self.state:
+            return
+        self.transitions.append((self.clock(), self.state, to_state))
+        self.state = to_state
+
+    def allow(self) -> bool:
+        """May an operation proceed right now?
+
+        While open, returns False until the cooldown elapses, then
+        moves to half-open and admits the single probe.
+        """
+        if self.state == self.OPEN:
+            if self.clock() - self.opened_at >= self.reset_after:
+                self._move(self.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._move(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self.opened_at = self.clock()
+            self._move(self.OPEN)
+        elif (self.state == self.CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self.opened_at = self.clock()
+            self._move(self.OPEN)
+
+    def reset(self) -> None:
+        """Force-close (used by ``store sync`` before a drain attempt)."""
+        self.consecutive_failures = 0
+        self._move(self.CLOSED)

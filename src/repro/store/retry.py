@@ -40,6 +40,35 @@ def is_transient_os_error(error: BaseException) -> bool:
             and error.errno in TRANSIENT_ERRNOS)
 
 
+def is_retryable_error(error: BaseException) -> bool:
+    """The explicit retryable-vs-fatal classification for store IO.
+
+    Retryable — the operation may succeed if simply repeated:
+
+    * connection-class failures (``ConnectionError`` and subclasses
+      such as ``ConnectionResetError``/``BrokenPipeError``);
+    * timeouts (``TimeoutError``, which since Python 3.10 also covers
+      ``socket.timeout``);
+    * ``EAGAIN``-class transient OS errors (:func:`is_transient_os_error`).
+
+    Never retryable — repeating cannot change the outcome and retries
+    would only mask the defect:
+
+    * ``KeyError``/``LookupError`` — a store *miss* is an answer, not a
+      failure;
+    * integrity failures (``repro.store.artifact_store
+      .StoreIntegrityError`` is a ``RuntimeError``, not an OS error) —
+      corrupt bytes stay corrupt however often they are re-read; the
+      quarantine path owns them;
+    * everything else (``ValueError``, permission errors, ...).
+    """
+    if isinstance(error, LookupError):
+        return False
+    if isinstance(error, (ConnectionError, TimeoutError)):
+        return True
+    return is_transient_os_error(error)
+
+
 def backoff_delay_s(base_s: float, attempt: int, token: str,
                     cap_s: Optional[float] = None) -> float:
     """Deterministic jittered exponential backoff after ``attempt``.

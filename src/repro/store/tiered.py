@@ -1,0 +1,358 @@
+"""Local + remote artifact stores composed as a write-through cache.
+
+:class:`TieredStore` is what a campaign engine actually mounts when a
+fleet shares one warm cache: every read and write goes to the fast
+local :class:`~repro.store.artifact_store.ArtifactStore` first, and the
+:class:`~repro.store.remote.RemoteStore` rides behind it —
+
+* **writes** land locally (atomic, leased, digest-recorded), then
+  replicate to the remote.  If the remote is unreachable — a raised
+  ``ConnectionError``/``TimeoutError``, which includes an open circuit
+  breaker — the key is appended to a crash-safe **pending-upload
+  journal** and the write still succeeds: campaigns degrade to
+  local-only operation instead of dying mid-grid;
+* **reads** hit the local store first; on a local miss the remote is
+  consulted and a hit is **backfilled** into the local tier (verified
+  byte-for-byte via the manifest digest) so the next read is local.  A
+  partitioned remote turns remote consultation into a clean miss — the
+  engine recomputes, which is always correct under content addressing;
+* **sync** (the ``repro-ht store sync`` CLI) drains the journal once
+  the remote heals.  Content keys make the drain idempotent: a key
+  whose remote digest already matches is skipped, a half-drained
+  journal re-runs harmlessly, and two hosts draining overlapping
+  journals converge on identical remote state.
+
+The journal is a JSON-lines file under the *local* store root
+(``pending_uploads.jsonl``), append-only on the hot path (single
+``O_APPEND`` writes are atomic for these line sizes) and compacted
+under the local store's file lock during :meth:`TieredStore.sync`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+import numpy as np
+
+from .artifact_store import ArtifactStore, ManifestEntry
+from .locks import FileLock
+from .remote import RemoteStore
+
+#: Exceptions that mean "the remote is unavailable right now" — the
+#: degraded-mode trigger.  ``CircuitOpenError`` subclasses
+#: ``ConnectionError``, so a tripped breaker degrades identically.
+REMOTE_UNAVAILABLE = (ConnectionError, TimeoutError)
+
+JOURNAL_FILENAME = "pending_uploads.jsonl"
+
+
+class PendingUploadJournal:
+    """Crash-safe record of writes that could not reach the remote.
+
+    One JSON line per journaled key, append-only while degraded;
+    compaction (dedup + drop-drained) happens under a file lock inside
+    :meth:`TieredStore.sync`.  Losing the journal is safe — content
+    addressing means a full local→remote reconciliation can always
+    rebuild it — but keeping it makes ``store sync`` O(pending) instead
+    of O(store).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def _lock(self) -> FileLock:
+        return FileLock(self.path.with_suffix(".lock"))
+
+    def append(self, entry: ManifestEntry) -> None:
+        line = json.dumps({"key": entry.key, "kind": entry.kind,
+                           "filename": entry.filename,
+                           "digest": entry.digest,
+                           "meta": dict(entry.meta)},
+                          sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A single O_APPEND write of a short line is atomic on POSIX —
+        # concurrent degraded writers interleave whole lines.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def pending(self) -> List[ManifestEntry]:
+        """Journaled entries, deduplicated by key (last line wins)."""
+        if not self.path.exists():
+            return []
+        by_key: Dict[str, ManifestEntry] = {}
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                entry = ManifestEntry(key=raw["key"], kind=raw["kind"],
+                                      filename=raw["filename"],
+                                      meta=dict(raw.get("meta", {})),
+                                      digest=raw.get("digest"))
+            except (ValueError, KeyError, TypeError):
+                # A torn trailing line (crash mid-append) is dropped;
+                # the artifact itself is safe in the local store and a
+                # reconcile pass can re-journal it.
+                continue
+            by_key[entry.key] = entry
+        return list(by_key.values())
+
+    def rewrite(self, entries: List[ManifestEntry]) -> None:
+        """Replace the journal contents (compaction; lock held)."""
+        with self._lock().holding(shared=False, timeout_s=10.0):
+            if not entries:
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:
+                    pass
+                return
+            lines = [json.dumps({"key": e.key, "kind": e.kind,
+                                 "filename": e.filename, "digest": e.digest,
+                                 "meta": dict(e.meta)}, sort_keys=True)
+                     for e in entries]
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text("\n".join(lines) + "\n")
+            os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+
+class TieredStore:
+    """Write-through local + remote store with graceful degradation.
+
+    Exposes the full engine-facing store surface (``put_*``/``load_*``/
+    ``get_*``/``entry``/``keys``/leases/``root``) so
+    ``CampaignEngine(store=...)`` and the supervisor accept it
+    unchanged.  ``degraded_writes``/``remote_hits``/``backfills`` count
+    what the tiers actually did, for tests and operators.
+    """
+
+    def __init__(self, local: Union[ArtifactStore, str, Path],
+                 remote: Union[RemoteStore, str, Dict[str, Any]], *,
+                 read_through: bool = True):
+        self.local = (local if isinstance(local, ArtifactStore)
+                      else ArtifactStore(local))
+        self.remote = (remote if isinstance(remote, RemoteStore)
+                       else RemoteStore(remote))
+        self.read_through = bool(read_through)
+        self.journal = PendingUploadJournal(
+            self.local.root / JOURNAL_FILENAME)
+        self.degraded_writes = 0
+        self.remote_hits = 0
+        self.backfills = 0
+
+    # -- engine-facing surface ----------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The local tier's root (campaign CSV/JSON outputs live here)."""
+        return self.local.root
+
+    @property
+    def retry(self):
+        return self.local.retry
+
+    def acquire_lease(self, owner: str = ""):
+        return self.local.acquire_lease(owner)
+
+    def release_lease(self) -> None:
+        self.local.release_lease()
+
+    # -- write --------------------------------------------------------------------
+
+    def _replicate(self, entry: ManifestEntry) -> None:
+        """Push a just-written local artifact to the remote tier."""
+        try:
+            data = self.local.object_bytes(entry.key)
+            self.remote.put_object(entry, data)
+        except REMOTE_UNAVAILABLE:
+            self.journal.append(entry)
+            self.degraded_writes += 1
+
+    def put_json(self, key: str, payload: Any, *, kind: str = "json",
+                 meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
+        entry = self.local.put_json(key, payload, kind=kind, meta=meta)
+        self._replicate(entry)
+        return entry
+
+    def put_arrays(self, key: str, arrays: Mapping[str, np.ndarray], *,
+                   kind: str = "arrays",
+                   meta: Optional[Mapping[str, Any]] = None) -> ManifestEntry:
+        entry = self.local.put_arrays(key, arrays, kind=kind, meta=meta)
+        self._replicate(entry)
+        return entry
+
+    # -- read ---------------------------------------------------------------------
+
+    def _backfill(self, key: str) -> Optional[ManifestEntry]:
+        """Copy a remote hit into the local tier; ``None`` on any miss.
+
+        An unreachable remote (connection/timeout/open breaker) is a
+        clean miss — recomputing is always correct, waiting is not.
+        """
+        if not self.read_through:
+            return None
+        try:
+            entry = self.remote.entry(key)
+            if entry is None:
+                return None
+            data = self.remote.object_bytes(key)
+        except REMOTE_UNAVAILABLE:
+            return None
+        except KeyError:
+            return None
+        self.remote_hits += 1
+        installed = self.local.put_verbatim(entry, data)
+        self.backfills += 1
+        return installed
+
+    def entry(self, key: str) -> Optional[ManifestEntry]:
+        entry = self.local.entry(key)
+        if entry is not None:
+            return entry
+        return self._backfill(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.entry(key) is not None
+
+    def has(self, key: str) -> bool:
+        return key in self
+
+    def load_json(self, key: str) -> Optional[Any]:
+        payload = self.local.load_json(key)
+        if payload is not None:
+            return payload
+        if self._backfill(key) is None:
+            return None
+        return self.local.load_json(key)
+
+    def load_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        arrays = self.local.load_arrays(key)
+        if arrays is not None:
+            return arrays
+        if self._backfill(key) is None:
+            return None
+        return self.local.load_arrays(key)
+
+    def get_json(self, key: str) -> Any:
+        payload = self.load_json(key)
+        if payload is None:
+            # Re-raise with the local store's miss/corruption semantics.
+            return self.local.get_json(key)
+        return payload
+
+    def get_arrays(self, key: str) -> Dict[str, np.ndarray]:
+        arrays = self.load_arrays(key)
+        if arrays is None:
+            return self.local.get_arrays(key)
+        return arrays
+
+    # -- index --------------------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Union of local and (reachable) remote keys, sorted."""
+        seen = set(self.local.keys())
+        try:
+            seen.update(self.remote.keys())
+        except REMOTE_UNAVAILABLE:
+            pass
+        return iter(sorted(seen))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- degraded-mode drain ------------------------------------------------------
+
+    def pending_uploads(self) -> List[ManifestEntry]:
+        return self.journal.pending()
+
+    def sync(self, *, reset_breaker: bool = True) -> Dict[str, Any]:
+        """Drain the pending-upload journal to the remote, idempotently.
+
+        Per journaled key: skip when the remote already holds the same
+        digest (another host drained it, or the pre-partition upload
+        actually landed), upload otherwise, keep in the journal on
+        continued unreachability.  Returns per-category counts; rc-style
+        success is ``remaining == 0``.
+        """
+        if reset_breaker:
+            self.remote.breaker.reset()
+        uploaded, skipped, missing, remaining = [], [], [], []
+        for entry in self.journal.pending():
+            try:
+                remote_entry = self.remote.entry(entry.key)
+                if (remote_entry is not None
+                        and remote_entry.digest == entry.digest
+                        and entry.digest is not None):
+                    skipped.append(entry.key)
+                    continue
+                try:
+                    data = self.local.object_bytes(entry.key)
+                except KeyError:
+                    # Journaled but gone locally (gc'd/discarded):
+                    # nothing to upload, nothing lost — drop it.
+                    missing.append(entry.key)
+                    continue
+                self.remote.put_object(entry, data)
+                uploaded.append(entry.key)
+            except REMOTE_UNAVAILABLE:
+                remaining.append(entry)
+        self.journal.rewrite(remaining)
+        return {"uploaded": uploaded, "skipped": skipped,
+                "missing_local": missing,
+                "remaining": [entry.key for entry in remaining]}
+
+    # -- spawning -----------------------------------------------------------------
+
+    def spawn_config(self) -> Dict[str, Any]:
+        """A picklable description a worker process can rebuild from."""
+        return {"kind": "tiered",
+                "local": self.local.spawn_config(),
+                "remote": self.remote.spawn_config(),
+                "read_through": self.read_through}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"TieredStore(local={str(self.local.root)!r}, "
+                f"remote={self.remote.root!r}, "
+                f"pending={len(self.journal)})")
+
+
+def build_store(config: Union[None, str, Path, Mapping[str, Any],
+                              ArtifactStore, RemoteStore, TieredStore]):
+    """Build any store flavour from a picklable config.
+
+    The inverse of every store's ``spawn_config()`` — the campaign
+    supervisor ships these dicts to worker processes instead of live
+    store objects.  Strings/paths mean a plain local store; ``None``
+    passes through (store-less engines); live stores pass through
+    unchanged.
+    """
+    if config is None or isinstance(config, (ArtifactStore, RemoteStore,
+                                             TieredStore)):
+        return config
+    if isinstance(config, (str, Path)):
+        return ArtifactStore(config)
+    kind = config.get("kind")
+    if kind == "local":
+        return ArtifactStore(str(config["root"]),
+                             locking=bool(config.get("locking", True)))
+    if kind == "remote":
+        return RemoteStore(dict(config["transport"]),
+                           op_timeout_s=float(
+                               config.get("op_timeout_s", 30.0)))
+    if kind == "tiered":
+        local = build_store(dict(config["local"]))
+        remote = build_store(dict(config["remote"]))
+        return TieredStore(local, remote,
+                           read_through=bool(config.get("read_through",
+                                                        True)))
+    raise ValueError(f"unknown store config {config!r}")

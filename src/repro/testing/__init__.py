@@ -7,18 +7,30 @@ fault tolerance — same methodology, pointed inward.
 
 from .chaos import (
     ChaosStore,
+    FaultHookStore,
     FaultInjection,
     FaultKind,
     FaultPlan,
     SyncFlag,
     WindowFaultStore,
 )
+from .faults import (
+    FaultClock,
+    FaultSchedule,
+    FaultWindow,
+    OneShotTrigger,
+)
 
 __all__ = [
     "ChaosStore",
+    "FaultClock",
+    "FaultHookStore",
     "FaultInjection",
     "FaultKind",
     "FaultPlan",
+    "FaultSchedule",
+    "FaultWindow",
+    "OneShotTrigger",
     "SyncFlag",
     "WindowFaultStore",
 ]

@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from ..store.artifact_store import ArtifactStore, ManifestEntry
+from .faults import OneShotTrigger
 
 
 class FaultKind:
@@ -146,7 +147,42 @@ class FaultPlan:
             time.sleep(self.hang_seconds)
 
 
-class ChaosStore(ArtifactStore):
+class FaultHookStore(ArtifactStore):
+    """The shared hook dispatch of every fault-injecting store.
+
+    ``ChaosStore`` and ``WindowFaultStore`` used to each re-override the
+    write path with their own plumbing; this base funnels both seams
+    through one dispatcher so subclasses only state *what* their fault
+    does, not where to splice it in:
+
+    * :meth:`_pre_record_hook` fires inside the object→manifest window
+      (object bytes on disk, manifest entry not yet recorded);
+    * :meth:`_post_put_hook` fires after a ``put_*`` fully completed
+      (manifest entry recorded, digest verified state reachable).
+    """
+
+    def _pre_record_hook(self, key: str) -> None:
+        """Called with the crash-consistency window open."""
+
+    def _post_put_hook(self, entry: ManifestEntry) -> None:
+        """Called after a completed ``put_json``/``put_arrays``."""
+
+    def _record(self, key, kind, object_path, meta, digest) -> ManifestEntry:
+        self._pre_record_hook(key)
+        return super()._record(key, kind, object_path, meta, digest)
+
+    def put_json(self, key, payload, **kwargs) -> ManifestEntry:
+        entry = super().put_json(key, payload, **kwargs)
+        self._post_put_hook(entry)
+        return entry
+
+    def put_arrays(self, key, arrays, **kwargs) -> ManifestEntry:
+        entry = super().put_arrays(key, arrays, **kwargs)
+        self._post_put_hook(entry)
+        return entry
+
+
+class ChaosStore(FaultHookStore):
     """An :class:`ArtifactStore` that tears its own writes on cue.
 
     When :meth:`arm`-ed on a coordinate carrying a ``truncate`` fault,
@@ -170,7 +206,7 @@ class ChaosStore(ArtifactStore):
         else:
             self._armed = None
 
-    def _maybe_tear(self, entry: ManifestEntry) -> None:
+    def _post_put_hook(self, entry: ManifestEntry) -> None:
         if self._armed is None:
             return
         object_path = self.objects_dir / entry.filename
@@ -178,16 +214,6 @@ class ChaosStore(ArtifactStore):
         with open(object_path, "wb") as handle:
             handle.write(data[:max(1, len(data) // 2)])
         os._exit(self.plan.truncate_exit_code)
-
-    def put_json(self, key, payload, **kwargs) -> ManifestEntry:
-        entry = super().put_json(key, payload, **kwargs)
-        self._maybe_tear(entry)
-        return entry
-
-    def put_arrays(self, key, arrays, **kwargs) -> ManifestEntry:
-        entry = super().put_arrays(key, arrays, **kwargs)
-        self._maybe_tear(entry)
-        return entry
 
 
 class SyncFlag:
@@ -227,7 +253,7 @@ class SyncFlag:
         return self.is_set()
 
 
-class WindowFaultStore(ArtifactStore):
+class WindowFaultStore(FaultHookStore):
     """An :class:`ArtifactStore` that stops inside the object→manifest
     window of its next ``put_*``.
 
@@ -265,24 +291,20 @@ class WindowFaultStore(ArtifactStore):
         self.kill_in_window = kill_in_window
         self.exit_code = exit_code
         self.wait_timeout_s = wait_timeout_s
-        self._writes_until_fire = int(skip_writes)
-        self._fired = False
+        self._trigger = OneShotTrigger(skip=skip_writes)
 
-    def _record(self, key, kind, object_path, meta, digest) -> ManifestEntry:
-        # By the time _record runs the object file exists and the
+    def _pre_record_hook(self, key: str) -> None:
+        # By the time this hook runs the object file exists and the
         # manifest entry does not: the window is open.
-        if not self._fired and self._writes_until_fire > 0:
-            self._writes_until_fire -= 1
-        elif not self._fired:
-            self._fired = True
-            self.window_flag.set()
-            if self.kill_in_window:
-                # Skips atexit/finally — the lease file stays behind
-                # with a dead pid, exactly like SIGKILL.
-                os._exit(self.exit_code)
-            if self.proceed_flag is not None:
-                if not self.proceed_flag.wait(self.wait_timeout_s):
-                    raise TimeoutError(
-                        f"window proceed flag {self.proceed_flag.path} was "
-                        f"never set within {self.wait_timeout_s} s")
-        return super()._record(key, kind, object_path, meta, digest)
+        if not self._trigger.should_fire():
+            return
+        self.window_flag.set()
+        if self.kill_in_window:
+            # Skips atexit/finally — the lease file stays behind
+            # with a dead pid, exactly like SIGKILL.
+            os._exit(self.exit_code)
+        if self.proceed_flag is not None:
+            if not self.proceed_flag.wait(self.wait_timeout_s):
+                raise TimeoutError(
+                    f"window proceed flag {self.proceed_flag.path} was "
+                    f"never set within {self.wait_timeout_s} s")

@@ -329,3 +329,40 @@ def test_cli_store_fsck_missing_directory(tmp_path, capsys):
     assert main(["store", "fsck", str(tmp_path / "nope")]) == 2
     assert "does not exist" in capsys.readouterr().err
     assert main(["store", "gc", str(tmp_path / "nope")]) == 2
+
+
+# -- fresh / partially-materialised stores (regression) -----------------------
+
+
+def test_fsck_repair_no_ops_cleanly_on_fresh_store(tmp_path, capsys):
+    """``store fsck --repair`` on an empty, fresh store is a clean no-op."""
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    assert main(["store", "fsck", str(fresh), "--repair"]) == 0
+    assert "store is clean" in capsys.readouterr().out
+    assert main(["store", "gc", str(fresh)]) == 0
+
+
+def test_fsck_and_gc_survive_missing_store_subdirectories(tmp_path):
+    """Maintenance must audit a store whose objects/ or manifest/
+    directory vanished (purge racing maintenance, partial copy) as
+    empty — not crash with FileNotFoundError."""
+    import shutil
+
+    store = ArtifactStore(tmp_path / "store")
+    shutil.rmtree(store.objects_dir)
+    report = store.fsck(repair=True)
+    assert report.clean()
+    removed = store.gc()
+    assert removed["orphan_objects"] == 0 and removed["stray_tmp"] == 0
+
+    shutil.rmtree(store.manifest_dir)
+    report = store.fsck(repair=True)
+    assert report.clean()
+    assert store.gc()["orphan_objects"] == 0
+    # The store still works afterwards: a put recreates what it needs.
+    store.manifest_dir.mkdir(parents=True, exist_ok=True)
+    store.objects_dir.mkdir(parents=True, exist_ok=True)
+    key = stable_key({"fresh": True})
+    store.put_json(key, {"v": 1})
+    assert store.load_json(key) == {"v": 1}

@@ -252,3 +252,118 @@ def test_broken_lease_resurrects_on_next_heartbeat(tmp_path):
     lease.heartbeat(force=True)
     assert lease.path.exists()
     lease.release()
+
+
+def test_retryable_vs_fatal_classification():
+    """Satellite pin: the explicit retryable/fatal split of store IO.
+
+    Connection resets and timeouts retry; misses (KeyError) and
+    corruption (StoreIntegrityError) never do — a miss is an answer and
+    corrupt bytes stay corrupt.
+    """
+    from repro.store import StoreIntegrityError, is_retryable_error
+
+    # Retryable: repeating can change the outcome.
+    assert is_retryable_error(ConnectionResetError("peer reset"))
+    assert is_retryable_error(ConnectionError("refused"))
+    assert is_retryable_error(BrokenPipeError("pipe"))
+    assert is_retryable_error(TimeoutError("budget exceeded"))
+    assert is_retryable_error(OSError(errno.EAGAIN, "busy"))
+    assert is_retryable_error(OSError(errno.EINTR, "interrupted"))
+    # Never retryable.
+    assert not is_retryable_error(KeyError("miss"))
+    assert not is_retryable_error(LookupError("miss"))
+    assert not is_retryable_error(StoreIntegrityError("digest mismatch"))
+    assert not is_retryable_error(ValueError("bad payload"))
+    assert not is_retryable_error(FileNotFoundError(errno.ENOENT, "gone"))
+    assert not is_retryable_error(PermissionError(errno.EACCES, "denied"))
+
+
+def test_retry_policy_with_classification_bounds_and_fatals():
+    from repro.store import is_retryable_error
+
+    policy = RetryPolicy(attempts=4, base_s=0.0, token="classify")
+    calls = {"n": 0}
+
+    def miss():
+        calls["n"] += 1
+        raise KeyError("miss")
+
+    with pytest.raises(KeyError):
+        policy.call(miss, retry_on=is_retryable_error)
+    assert calls["n"] == 1  # a miss is never retried
+
+    calls["n"] = 0
+
+    def resets_then_ok():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ConnectionResetError("flaky network")
+        return "ok"
+
+    assert policy.call(resets_then_ok, retry_on=is_retryable_error) == "ok"
+    assert calls["n"] == 3
+
+    calls["n"] = 0
+
+    def always_times_out():
+        calls["n"] += 1
+        raise TimeoutError("stuck")
+
+    with pytest.raises(TimeoutError):
+        policy.call(always_times_out, retry_on=is_retryable_error)
+    assert calls["n"] == 4  # bounded, then the last failure propagates
+
+
+# -- stale-lease breaking races -----------------------------------------------
+
+
+def _race_breaker(leases_dir, start, results):
+    start.wait(10.0)
+    broken = break_stale_leases(leases_dir)
+    results.put(sorted(info.owner for info in broken))
+
+
+def test_stale_lease_breaking_race_exactly_one_winner(tmp_path):
+    """Two maintenance processes contend for one dead writer's lease
+    while a live writer keeps heartbeating: exactly one breaker wins
+    the dead lease (the unlink race is the arbiter) and the live lease
+    survives untouched."""
+    import socket
+
+    leases_dir = tmp_path / "leases"
+    leases_dir.mkdir()
+    # A dead writer: this host, a pid that cannot exist, unexpired —
+    # provably stale by pid-liveness, not by clock.
+    dead = leases_dir / f"{socket.gethostname()}-999999997-1.json"
+    dead.write_text(json.dumps({
+        "pid": 999999997, "host": socket.gethostname(),
+        "owner": "deadwriter", "expires_at": time.time() + 3600}))
+    live = WriterLease(leases_dir, owner="live", ttl_s=3600.0).acquire()
+
+    ctx = multiprocessing.get_context()
+    start, results = ctx.Event(), ctx.Queue()
+    breakers = [ctx.Process(target=_race_breaker,
+                            args=(leases_dir, start, results))
+                for _ in range(2)]
+    for proc in breakers:
+        proc.start()
+    start.set()
+    # The racing heartbeat: the live writer refreshes its lease while
+    # both breakers sweep the directory.
+    deadline = time.monotonic() + 2.0
+    while any(proc.is_alive() for proc in breakers) \
+            and time.monotonic() < deadline:
+        live.heartbeat(force=True)
+        time.sleep(0.001)
+    reported = [results.get(timeout=10.0) for _ in breakers]
+    for proc in breakers:
+        proc.join(10.0)
+
+    wins = [owners for owners in reported if "deadwriter" in owners]
+    assert len(wins) == 1, f"expected exactly one winner, got {reported}"
+    assert not dead.exists()
+    # The live, heartbeating lease was never broken.
+    assert live.path.exists()
+    assert {info.owner for info in list_leases(leases_dir)} == {"live"}
+    live.release()
